@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one table or figure from the paper's evaluation
+(Section 5).  Benchmarks run each experiment exactly once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the printed
+paper-style table plus shape assertions, not wall-clock statistics.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,102 @@
+"""Figure 6 + Table 8 — scheduling-failure analysis.
+
+Paper (Section 5.6), from four months of scheduler logs on a 680-GPU
+production cluster:
+
+* Figure 6 — distribution of FailedScheduling over pod types: >60%
+  learners, ~15% lhelper, a long tail of operational pod types.
+* Table 8 — distribution over failure reasons: ~64% "No nodes available
+  that match all of the predicates", 17% binding rejected, 15.1% skip
+  schedule deleting pod, 1.94% persistentvolumeclaim not found, 1.6% pods
+  not found, 0.17% timeouts, 0.17% assume-pod races.
+
+Reproduction: a multi-day, fault-injected, heavily loaded run of the full
+platform; events are classified from the same log-message taxonomy.  The
+operational pod types of the production cluster (validation-gpu,
+dvt-testbox, ...) do not exist here, so the type distribution is over
+learner / lhelper / jobmonitor.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import print_table
+from repro.kube.events import (
+    REASON_ASSUME_FAILED,
+    REASON_BINDING_REJECTED,
+    REASON_NO_NODES,
+    REASON_POD_NOT_FOUND,
+    REASON_PVC_NOT_FOUND,
+    REASON_SKIP_DELETING,
+    REASON_TIMEOUT,
+)
+from repro.workloads import FailureStudyConfig, run_failure_study
+
+DAYS = int(os.environ.get("FFDL_FAILURE_DAYS", "4"))
+
+PAPER_REASONS = {
+    REASON_BINDING_REJECTED: 17.05,
+    REASON_TIMEOUT: 0.169,
+    REASON_POD_NOT_FOUND: 1.603,
+    REASON_ASSUME_FAILED: 0.169,
+    REASON_PVC_NOT_FOUND: 1.94,
+    REASON_SKIP_DELETING: 15.1,
+    REASON_NO_NODES: 64.0,
+}
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)
+def _study():
+    config = FailureStudyConfig(days=DAYS, seed=1,
+                                timeout_race_probability=3e-5,
+                                assume_race_probability=3e-5)
+    return run_failure_study(config)
+
+
+def run_study():
+    # Both tests analyse the same run; compute it once.
+    return _study()
+
+
+def test_fig6_pod_type_distribution(once):
+    result = once(run_study)
+    fractions = result.failed_type_fractions()
+    rows = [[pod_type, f"{100 * fraction:.1f}%"]
+            for pod_type, fraction in
+            sorted(fractions.items(), key=lambda kv: -kv[1])]
+    print_table(["pod type", "% of failed-scheduling pods"],
+                rows, title="Figure 6: scheduling failures by pod type "
+                            f"({sum(result.failed_pods_by_type().values())}"
+                            " unique pods)")
+    # Paper: "more than 60% of failed scheduling pods are learners".
+    assert fractions.get("learner", 0.0) > 0.60
+    # Helper and guardian pods appear in the tail.
+    assert fractions.get("lhelper", 0.0) > 0.0
+
+
+def test_table8_failure_reasons(once):
+    result = once(run_study)
+    fractions = result.reason_fractions()
+    rows = []
+    for reason, paper_pct in sorted(PAPER_REASONS.items(),
+                                    key=lambda kv: -kv[1]):
+        measured = 100.0 * fractions.get(reason, 0.0)
+        rows.append([reason, f"{measured:.2f}%", f"{paper_pct:.2f}%"])
+    print_table(["failure reason", "measured % of pods", "paper"],
+                rows, title="Table 8: scheduling-failure reasons")
+    # The dominant reason is resource exhaustion, as in production.
+    leading = max(fractions, key=fractions.get)
+    assert leading == REASON_NO_NODES
+    assert fractions[REASON_NO_NODES] > 0.45
+    # Deletion races are the second family.
+    deletion_family = fractions.get(REASON_SKIP_DELETING, 0) + \
+        fractions.get(REASON_BINDING_REJECTED, 0) + \
+        fractions.get(REASON_POD_NOT_FOUND, 0)
+    assert deletion_family > 0.02
+    # The rare races appear but stay rare.
+    for rare in (REASON_TIMEOUT, REASON_ASSUME_FAILED):
+        assert fractions.get(rare, 0.0) < 0.05

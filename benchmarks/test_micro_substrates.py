@@ -1,0 +1,115 @@
+"""Microbenchmarks of the substrates themselves (wall-clock performance).
+
+Unlike the table/figure benchmarks (which run once and print paper-style
+output), these measure the real execution speed of the building blocks —
+useful when extending the library, since experiment wall-clock time is
+dominated by kernel event throughput.
+"""
+
+import pytest
+
+from repro.etcd import EtcdStore
+from repro.kube import Cluster, NodeCapacity, SchedulerConfig
+from repro.kube.objects import ContainerSpec, ObjectMeta, Pod, PodSpec
+from repro.kube.resources import ResourceRequest
+from repro.mongo import Collection
+from repro.raft import RaftCluster, CallbackStateMachine
+from repro.sim import Environment, RngRegistry
+from repro.docker import Image
+
+
+def test_kernel_event_throughput(benchmark):
+    """Timeout-chain processing rate of the discrete-event kernel."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10_000.0
+
+
+def test_etcd_put_get_throughput(benchmark):
+    def run():
+        store = EtcdStore(Environment())
+        for i in range(2_000):
+            store.put(f"key-{i % 100}", i)
+        return store.revision
+
+    assert benchmark(run) == 2_000
+
+
+def test_etcd_watch_fanout(benchmark):
+    def run():
+        store = EtcdStore(Environment())
+        watchers = [store.watch_prefix("jobs/") for _ in range(50)]
+        for i in range(200):
+            store.put(f"jobs/{i % 10}", i)
+        return sum(w.pending() for w in watchers)
+
+    assert benchmark(run) == 50 * 200
+
+
+def test_mongo_query_throughput(benchmark):
+    coll = Collection("bench")
+    for i in range(500):
+        coll.insert_one({"user": f"u{i % 20}", "gpus": i % 8,
+                         "status": "RUNNING" if i % 3 else "COMPLETED"})
+
+    def run():
+        hits = coll.find({"user": "u7", "gpus": {"$gte": 4}})
+        return len(hits)
+
+    benchmark(run)
+
+
+def test_raft_commit_latency(benchmark):
+    """Simulated-time cost of one replicated commit on a 3-node group."""
+
+    def run():
+        env = Environment()
+        cluster = RaftCluster(env, RngRegistry(0),
+                              lambda n: CallbackStateMachine(
+                                  lambda i, c: None),
+                              size=3)
+        env.run(until=1.0)
+        start = env.now
+        env.run_until_complete(cluster.propose("x"), limit=start + 10)
+        return env.now - start
+
+    latency = benchmark(run)
+    assert latency < 0.1  # a commit takes a few network round-trips
+
+
+def test_scheduler_placement_rate(benchmark):
+    """Wall-clock cost of placing a 200-pod burst."""
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, RngRegistry(0),
+                          SchedulerConfig(policy="pack"))
+        cluster.push_image(Image("learner", size_bytes=1e6))
+        cluster.add_nodes(25, NodeCapacity(cpus=64, memory_gb=512,
+                                           gpus=8, gpu_type="K80"))
+
+        def sleeper(container):
+            yield env.timeout(10_000)
+            return 0
+
+        for i in range(200):
+            cluster.api.create_pod(Pod(
+                meta=ObjectMeta(name=f"p{i}"),
+                spec=PodSpec(containers=[ContainerSpec(
+                    "m", "learner:latest", sleeper)],
+                    resources=ResourceRequest(cpus=1, memory_gb=4,
+                                              gpus=1, gpu_type="K80"))))
+        env.run(until=120)
+        return cluster.scheduler.pods_scheduled
+
+    assert benchmark(run) == 200

@@ -1,0 +1,86 @@
+"""Fault-tolerance demo: checkpoints, crashes, node failures, recovery.
+
+Reproduces the dependability story of Section 3.8 on a toy cluster:
+
+1. a distributed job checkpoints periodically to object storage,
+2. a learner container is killed mid-training -> Kubernetes restarts it
+   and FfDL resumes it from the latest checkpoint,
+3. an entire node dies -> the learner is rescheduled on another machine,
+   again resuming from its checkpoint,
+4. the Guardian is killed -> the restarted Guardian keeps monitoring the
+   healthy job instead of rolling it back.
+
+Run with:  python examples/fault_tolerance_demo.py
+"""
+
+from repro import Environment, FfDLPlatform, JobManifest, RngRegistry
+from repro.core import PlatformConfig
+
+
+def wait_for_progress(env, platform, job_id, iterations):
+    job = platform.job(job_id)
+    while max(s.iterations_done for s in job.learner_states) < iterations:
+        env.run(until=env.now + 10)
+    return job
+
+
+def main():
+    env = Environment()
+    config = PlatformConfig(node_detection_latency_s=10.0,
+                            pod_eviction_timeout_s=10.0)
+    platform = FfDLPlatform(env, RngRegistry(3), config)
+    platform.add_gpu_nodes(3, gpus_per_node=4, gpu_type="P100")
+    platform.admission.register("bob", gpu_quota=8)
+
+    manifest = JobManifest(
+        name="fault-demo", user="bob", framework="tensorflow",
+        model="inceptionv3", learners=2, gpus_per_learner=1,
+        gpu_type="P100", iterations=6_000,
+        checkpoint_interval_iterations=1_000)
+    job_id = env.run_until_complete(platform.submit_job(manifest))
+    print(f"submitted {job_id} with checkpoints every "
+          f"{manifest.checkpoint_interval_iterations} iterations")
+
+    # --- fault 1: kill a learner container once it has checkpointed ------
+    job = wait_for_progress(env, platform, job_id, 1_200)
+    victim = platform.learner_pods(job_id)[0]
+    print(f"\n[t={env.now:7.0f}s] killing learner container on "
+          f"{victim.name} (progress: "
+          f"{job.learner_states[0].iterations_done} iters)")
+    platform.kill_pod_containers(victim.name)
+    wait_for_progress(env, platform, job_id, 2_200)
+    state = job.learner_states[0]
+    print(f"[t={env.now:7.0f}s] learner recovered: loaded "
+          f"{state.checkpoints_loaded} checkpoint(s), back to "
+          f"{state.iterations_done} iters")
+
+    # --- fault 2: crash the whole node ------------------------------------
+    pod = platform.learner_pods(job_id)[0]
+    doomed_node = pod.node_name
+    print(f"\n[t={env.now:7.0f}s] failing node {doomed_node}")
+    platform.cluster.fail_node(doomed_node)
+    wait_for_progress(env, platform, job_id, 3_500)
+    moved = platform.learner_pods(job_id)
+    print(f"[t={env.now:7.0f}s] learners now on nodes: "
+          f"{sorted({p.node_name for p in moved})} (evicted from "
+          f"{doomed_node})")
+
+    # --- fault 3: kill the Guardian ---------------------------------------
+    guardian = platform.guardian_pod(job_id)
+    print(f"\n[t={env.now:7.0f}s] killing Guardian {guardian.name}")
+    platform.kill_pod_containers(guardian.name)
+
+    final = env.run_until_complete(platform.wait_for_terminal(job_id),
+                                   limit=10**7)
+    job = platform.job(job_id)
+    print(f"\n[t={env.now:7.0f}s] job {final} despite all three faults")
+    print(f"guardian attempts: {job.guardian_attempts}, "
+          f"learner restarts absorbed: "
+          f"{[s.restarts for s in job.learner_states]}")
+    print("status timeline:")
+    for status, time in job.status.timeline():
+        print(f"  {time:9.1f}s  {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Multi-tenant hyperparameter sweep with HALT/RESUME and quotas.
+
+The workflow the paper's checkpointing section enables: a data scientist
+launches several trials, halts the weakest mid-flight to free GPUs for a
+promising configuration, and later resumes it from its checkpoint.
+Meanwhile a second tenant is bounded by admission control.
+
+Run with:  python examples/hyperparameter_sweep.py
+"""
+
+from repro import Environment, FfDLPlatform, JobManifest, RngRegistry
+from repro.core import statuses as st
+from repro.errors import QuotaExceededError
+
+
+def main():
+    env = Environment()
+    platform = FfDLPlatform(env, RngRegistry(11))
+    platform.add_gpu_nodes(2, gpus_per_node=4, gpu_type="V100")
+    platform.admission.register("researcher", gpu_quota=6)
+    platform.admission.register("intern", gpu_quota=1)
+    platform.admission.allow_opportunistic = False
+
+    # --- launch three trials with different (simulated) learning rates ----
+    trials = {}
+    for i, learning_rate in enumerate([0.1, 0.01, 0.001]):
+        manifest = JobManifest(
+            name=f"trial-lr{learning_rate}", user="researcher",
+            framework="pytorch", model="inceptionv3",
+            command=f"python train.py --lr {learning_rate}",
+            learners=1, gpus_per_learner=1, gpu_type="V100",
+            iterations=8_000, checkpoint_interval_iterations=1_000)
+        job_id = env.run_until_complete(platform.submit_job(manifest))
+        trials[job_id] = learning_rate
+        print(f"launched {job_id} (lr={learning_rate})")
+
+    # --- the intern is quota-bounded ---------------------------------------
+    big_ask = JobManifest(
+        name="intern-overreach", user="intern", framework="tensorflow",
+        model="vgg16", learners=2, gpus_per_learner=2, gpu_type="V100",
+        cpus_per_learner=8, iterations=1_000)
+    try:
+        env.run_until_complete(platform.submit_job(big_ask))
+    except QuotaExceededError as err:
+        print(f"\nintern rejected by admission control: {err}")
+
+    # --- halt the weakest trial once training is underway ------------------
+    env.run(until=env.now + 600)
+    weakest = next(job_id for job_id, lr in trials.items() if lr == 0.1)
+    print(f"\n[t={env.now:6.0f}s] halting {weakest} "
+          f"(diverging loss at lr=0.1)")
+    env.run_until_complete(platform.halt_job(weakest))
+    env.run_until_complete(platform.wait_for_terminal(weakest),
+                           limit=10**7)
+    job = platform.job(weakest)
+    print(f"[t={env.now:6.0f}s] {weakest} HALTED at "
+          f"{job.learner_states[0].iterations_done} iterations "
+          f"({job.learner_states[0].checkpoints_written} checkpoints)")
+
+    # --- the other trials complete ----------------------------------------
+    for job_id, lr in trials.items():
+        if job_id == weakest:
+            continue
+        status = env.run_until_complete(
+            platform.wait_for_terminal(job_id), limit=10**7)
+        print(f"[t={env.now:6.0f}s] {job_id} (lr={lr}): {status}")
+
+    # --- second thoughts: resume the halted trial --------------------------
+    print(f"\n[t={env.now:6.0f}s] resuming {weakest} from its checkpoint")
+    env.run_until_complete(platform.resume_job(weakest))
+    status = env.run_until_complete(platform.wait_for_terminal(weakest),
+                                    limit=10**7)
+    job = platform.job(weakest)
+    print(f"[t={env.now:6.0f}s] {weakest}: {status}, "
+          f"checkpoints loaded on resume: "
+          f"{job.learner_states[0].checkpoints_loaded}")
+    print("\nfull timeline of the halted/resumed trial:")
+    for status, time in job.status.timeline():
+        print(f"  {time:9.1f}s  {status}")
+
+
+if __name__ == "__main__":
+    main()

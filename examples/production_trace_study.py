@@ -1,0 +1,43 @@
+"""Replay a production-style trace to compare placement policies.
+
+A compact version of the paper's Section 5.2 study (Figure 3): generate a
+multi-week job-arrival trace with the published shape, replay it through
+Spread and Pack placement on a 400-GPU cluster, and report the queueing
+impact per day.
+
+Run with:  python examples/production_trace_study.py [days]
+"""
+
+import sys
+
+from repro.analysis import compare_policies, print_table
+from repro.sim import RngRegistry
+from repro.workloads import ProductionTrace, TraceConfig, arrivals_by_day
+
+
+def main():
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    trace = ProductionTrace(RngRegistry(42), TraceConfig(days=days))
+    jobs = trace.generate()
+    arrivals = arrivals_by_day(jobs, days)
+    gpu_demand = sum(j.total_gpus * j.duration_s for j in jobs)
+    print(f"trace: {len(jobs)} jobs over {days} days "
+          f"(~{gpu_demand / (400 * 86400 * days):.0%} offered GPU load "
+          f"on 400 GPUs)")
+
+    results = compare_policies(jobs, days)
+    spread = results["spread"].percent_delayed_by_day()
+    pack = results["pack"].percent_delayed_by_day()
+    rows = [[day, arrivals[day], f"{spread[day]:.1f}%",
+             f"{pack[day]:.1f}%"] for day in range(days)]
+    print_table(["day", "arrivals", "Spread: % queued >15min",
+                 "Pack: % queued >15min"], rows)
+    totals = (results["spread"].total_delayed,
+              results["pack"].total_delayed)
+    print(f"\ntotal jobs queued >15min: Spread {totals[0]}, "
+          f"Pack {totals[1]} ({totals[0] / max(1, totals[1]):.1f}x fewer "
+          f"with Pack — the paper reports >3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: submit one training job to FfDL and watch it complete.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Environment, FfDLPlatform, JobManifest, RngRegistry
+
+def main():
+    env = Environment()
+    platform = FfDLPlatform(env, RngRegistry(7))
+
+    # A small GPU cluster: 4 machines x 4 K80s.
+    platform.add_gpu_nodes(4, gpus_per_node=4, gpu_type="K80")
+    platform.admission.register("alice", gpu_quota=16)
+
+    manifest = JobManifest(
+        name="resnet50-demo",
+        user="alice",
+        framework="tensorflow",
+        model="resnet50",
+        command="python train.py --epochs 10",
+        learners=2,
+        gpus_per_learner=2,
+        gpu_type="K80",
+        iterations=2_000,
+        checkpoint_interval_iterations=500,
+    )
+
+    job_id = env.run_until_complete(platform.submit_job(manifest))
+    print(f"submitted {job_id} "
+          f"({manifest.learners} learners x {manifest.gpus_per_learner} "
+          f"GPUs, t-shirt size: {manifest.effective_cpus():.0f} CPUs / "
+          f"{manifest.effective_memory_gb():.0f} GB per learner)")
+
+    final = env.run_until_complete(platform.wait_for_terminal(job_id),
+                                   limit=10**7)
+    env.run(until=env.now + 30)  # let garbage collection settle
+
+    job = platform.job(job_id)
+    print(f"\njob finished: {final} after {job.runtime_s:.0f}s simulated")
+    print("\nstatus timeline (the DL-specific statuses the paper touts):")
+    for status, time in job.status.timeline():
+        print(f"  {time:9.1f}s  {status}")
+
+    print("\nper-learner progress:")
+    for state in job.learner_states:
+        print(f"  learner-{state.index}: {state.iterations_done} iters, "
+              f"{state.checkpoints_written} checkpoints written")
+
+    print(f"\ntraining logs collected: "
+          f"{len(platform.stream_logs(job_id))} lines "
+          f"(first: {platform.stream_logs(job_id)[0].line!r})")
+    print(f"cluster GPU utilization now: "
+          f"{platform.cluster.gpu_utilization():.0%} (job cleaned up)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of "FfDL: A Flexible Multi-tenant Deep Learning Platform"
+(Jayaram et al., MIDDLEWARE 2019).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.raft`, :mod:`repro.etcd`, :mod:`repro.mongo`,
+  :mod:`repro.objectstore`, :mod:`repro.nfs`, :mod:`repro.docker`,
+  :mod:`repro.kube` — the substrates FfDL depends on, built from scratch.
+* :mod:`repro.perfmodel` — training throughput calibrated to the paper.
+* :mod:`repro.core` — FfDL itself (API, LCM, Guardian, helpers, learners).
+* :mod:`repro.workloads`, :mod:`repro.analysis` — experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import FfDLPlatform, JobManifest, PlatformConfig
+from repro.sim import Environment, RngRegistry
+
+__all__ = ["Environment", "FfDLPlatform", "JobManifest", "PlatformConfig",
+           "RngRegistry", "__version__"]

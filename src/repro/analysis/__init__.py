@@ -1,0 +1,35 @@
+"""Analysis helpers: CDFs, table rendering, fast placement replay."""
+
+from repro.analysis.cdf import (
+    cdf_at,
+    empirical_cdf,
+    probability_of_zero,
+    quantile,
+)
+from repro.analysis.schedreplay import (
+    NodeSpec,
+    PRODUCTION_NODES,
+    PlacementReplayer,
+    QUEUE_THRESHOLD_S,
+    ReplayResult,
+    compare_policies,
+)
+from repro.analysis.report import build_report, quick_report
+from repro.analysis.tables import format_table, print_table
+
+__all__ = [
+    "NodeSpec",
+    "PRODUCTION_NODES",
+    "PlacementReplayer",
+    "QUEUE_THRESHOLD_S",
+    "ReplayResult",
+    "build_report",
+    "cdf_at",
+    "compare_policies",
+    "empirical_cdf",
+    "format_table",
+    "quick_report",
+    "print_table",
+    "probability_of_zero",
+    "quantile",
+]

@@ -1,0 +1,49 @@
+"""Empirical-CDF helpers for the Figure 4 style plots."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def empirical_cdf(samples: Iterable[float]) -> List[Tuple[float, float]]:
+    """Return (value, P[X <= value]) points of the empirical CDF."""
+    data = sorted(samples)
+    n = len(data)
+    if n == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    for i, value in enumerate(data, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, i / n)
+        else:
+            points.append((value, i / n))
+    return points
+
+
+def cdf_at(cdf: Sequence[Tuple[float, float]], value: float) -> float:
+    """P[X <= value] from an empirical CDF."""
+    probability = 0.0
+    for x, p in cdf:
+        if x <= value:
+            probability = p
+        else:
+            break
+    return probability
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The q-quantile (0 <= q <= 1) by nearest-rank."""
+    if not samples:
+        raise ValueError("quantile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    data = sorted(samples)
+    rank = min(len(data) - 1, max(0, int(q * len(data) + 0.5) - 1))
+    return data[rank]
+
+
+def probability_of_zero(samples: Sequence[float]) -> float:
+    """P[X == 0]; e.g. the chance a run had no deadlocked learners."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s == 0) / len(samples)

@@ -1,0 +1,136 @@
+"""Programmatic experiment reports.
+
+Builds Markdown reports of reproduced experiments without going through
+pytest — useful for notebooks, CI summaries, or regenerating
+EXPERIMENTS.md-style tables after changing the calibration:
+
+    from repro.analysis.report import quick_report
+    print(quick_report())          # fast experiments only
+
+Each section function returns (title, headers, rows) so callers can also
+assemble custom subsets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+
+Section = Tuple[str, Sequence[str], List[Sequence[object]]]
+
+
+def table2_section() -> Section:
+    from repro.perfmodel import (
+        INCEPTIONV3_TF,
+        P100,
+        RESNET50_TF,
+        VGG16_TF,
+        overhead_vs_dgx1,
+    )
+
+    rows = []
+    for n_gpus in (1, 2):
+        for model in (INCEPTIONV3_TF, RESNET50_TF, VGG16_TF):
+            gap = 100.0 * overhead_vs_dgx1(model, P100, 16, n_gpus,
+                                           rng=random.Random(7))
+            rows.append([model.name, n_gpus, f"{gap:.2f}%"])
+    return ("Table 2: FfDL vs DGX-1", ["model", "# GPUs", "gap"], rows)
+
+
+def table4_section() -> Section:
+    from repro.perfmodel import P100, V100, VGG16_CAFFE, images_per_sec
+
+    rows = [[threads,
+             f"{images_per_sec(VGG16_CAFFE, P100, threads, batch_size=75):.1f}",
+             f"{images_per_sec(VGG16_CAFFE, V100, threads, batch_size=75):.1f}"]
+            for threads in (2, 4, 8, 16, 28)]
+    return ("Table 4: VGG-16/Caffe scaling",
+            ["CPU threads", "P100 img/s", "V100 img/s"], rows)
+
+
+def table5_section() -> Section:
+    from repro.core.tshirt import TSHIRT_SIZES, derive_cpus
+
+    rows = [[f"{gpus}x{gpu}", size.cpus, size.memory_gb,
+             derive_cpus(gpu, gpus)]
+            for (gpu, gpus), size in sorted(TSHIRT_SIZES.items())]
+    return ("Table 5: t-shirt sizes",
+            ["config", "CPUs", "memory GB", "derived CPUs"], rows)
+
+
+def table6_section() -> Section:
+    from repro.perfmodel import (
+        INCEPTIONV3_TF,
+        RESNET50_TF,
+        V100,
+        VGG16_TF,
+        gpu_utilization,
+        images_per_sec,
+    )
+
+    rows = []
+    for threads in (16, 28):
+        for model in (INCEPTIONV3_TF, RESNET50_TF, VGG16_TF):
+            rows.append([
+                model.name, threads,
+                f"{images_per_sec(model, V100, threads, batch_size=128):.1f}",
+                f"{100 * gpu_utilization(model, threads):.1f}%"])
+    return ("Table 6: TensorFlow scaling on V100",
+            ["model", "CPU threads", "img/s", "GPU util"], rows)
+
+
+def fig4_section(repeats: int = 10) -> Section:
+    from repro.analysis.cdf import probability_of_zero
+    from repro.workloads import GANG_WORKLOADS, run_gang_experiment
+
+    rows = []
+    for learners, gpus in GANG_WORKLOADS:
+        for gang in (False, True):
+            runs = [run_gang_experiment(learners, gpus, gang=gang, seed=s)
+                    for s in range(repeats)]
+            deadlocked = [r.deadlocked_learners for r in runs]
+            rows.append([
+                f"{learners}Lx{gpus}G",
+                "gang" if gang else "default",
+                f"{min(deadlocked)}-{max(deadlocked)}",
+                f"{probability_of_zero(deadlocked):.2f}"])
+    return ("Figure 4: gang scheduling deadlocks",
+            ["workload", "scheduler", "deadlocked range",
+             "P(no deadlock)"], rows)
+
+
+def fig3_section(days: int = 10) -> Section:
+    from repro.analysis.schedreplay import compare_policies
+    from repro.sim import RngRegistry
+    from repro.workloads import ProductionTrace, TraceConfig
+
+    jobs = ProductionTrace(RngRegistry(42),
+                           TraceConfig(days=days)).generate()
+    results = compare_policies(jobs, days)
+    rows = [[policy, result.total_delayed]
+            for policy, result in results.items()]
+    return (f"Figure 3: jobs queued >15min over {days} days",
+            ["policy", "delayed jobs"], rows)
+
+
+#: Fast default sections (seconds of wall-clock time).
+QUICK_SECTIONS: Tuple[Callable[[], Section], ...] = (
+    table2_section, table4_section, table5_section, table6_section,
+    fig4_section, fig3_section,
+)
+
+
+def build_report(sections: Sequence[Callable[[], Section]]) -> str:
+    parts = ["# FfDL reproduction report", ""]
+    for section in sections:
+        title, headers, rows = section()
+        parts.append(format_table(headers, rows, title=f"## {title}"))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def quick_report() -> str:
+    """Markdown report of the fast experiments."""
+    return build_report(QUICK_SECTIONS)

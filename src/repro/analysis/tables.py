@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark output.
+
+Each benchmark prints rows in the same layout as the paper's table or
+figure series so the reproduction can be eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))

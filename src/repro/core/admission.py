@@ -1,0 +1,123 @@
+"""Admission control and preemption (Section 3.6).
+
+"Given that there is no overcommitment, admission control (AC) becomes
+necessary; there is a component above FfDL that performs AC — based on
+quotas for internal users, and based on pricing/agreements for external
+users. ... the AC component also pre-empts 2 job types as necessary: (1)
+free users during heavy load, and (2) user A exceeded their quota; their
+job was scheduled because user B wasn't using their quotas; user B
+subsequently wants to use his quota."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.job import TrainingJob
+from repro.errors import QuotaExceededError
+
+FREE_TIER = "free"
+PAID_TIER = "paid"
+
+
+@dataclass
+class Tenant:
+    """One user/org with a GPU quota."""
+
+    user: str
+    gpu_quota: int
+    tier: str = PAID_TIER
+
+
+@dataclass
+class AdmissionDecision:
+    admitted: bool
+    over_quota: bool = False
+    preempted_jobs: List[str] = field(default_factory=list)
+    reason: str = ""
+
+
+class AdmissionController:
+    """Quota accounting plus the two preemption policies."""
+
+    def __init__(self, allow_opportunistic: bool = True):
+        self._tenants: Dict[str, Tenant] = {}
+        #: job_id -> (user, gpus, over_quota)
+        self._active: Dict[str, tuple] = {}
+        self.allow_opportunistic = allow_opportunistic
+        self.rejections = 0
+        self.preemptions = 0
+
+    # -- tenancy --------------------------------------------------------------
+
+    def register(self, user: str, gpu_quota: int,
+                 tier: str = PAID_TIER) -> Tenant:
+        tenant = Tenant(user, gpu_quota, tier)
+        self._tenants[user] = tenant
+        return tenant
+
+    def tenant(self, user: str) -> Tenant:
+        if user not in self._tenants:
+            raise QuotaExceededError(f"unknown tenant {user!r}")
+        return self._tenants[user]
+
+    def usage(self, user: str) -> int:
+        return sum(gpus for _user, gpus, _over in self._active.values()
+                   if _user == user)
+
+    # -- admission -----------------------------------------------------------------
+
+    def admit(self, job: TrainingJob) -> AdmissionDecision:
+        """Decide whether a job may run.  Jobs over quota are admitted
+        opportunistically (flagged) when allowed — they are the first
+        preemption victims."""
+        user = job.manifest.user
+        tenant = self.tenant(user)
+        demand = job.manifest.total_gpus
+        within = self.usage(user) + demand <= tenant.gpu_quota
+        if within:
+            self._active[job.job_id] = (user, demand, False)
+            return AdmissionDecision(admitted=True)
+        if self.allow_opportunistic:
+            self._active[job.job_id] = (user, demand, True)
+            return AdmissionDecision(admitted=True, over_quota=True,
+                                     reason="over quota (opportunistic)")
+        self.rejections += 1
+        return AdmissionDecision(
+            admitted=False, over_quota=True,
+            reason=f"user {user} quota {tenant.gpu_quota} GPUs exceeded")
+
+    def release(self, job_id: str) -> None:
+        self._active.pop(job_id, None)
+
+    # -- preemption -------------------------------------------------------------------
+
+    def preemption_victims_for_quota(self, claiming_user: str,
+                                     gpus_needed: int) -> List[str]:
+        """Job ids to preempt so ``claiming_user`` can use their quota:
+        over-quota (opportunistic) jobs first, largest first."""
+        victims = []
+        reclaimed = 0
+        over_quota = sorted(
+            ((job_id, gpus) for job_id, (user, gpus, over)
+             in self._active.items()
+             if over and user != claiming_user),
+            key=lambda item: -item[1])
+        for job_id, gpus in over_quota:
+            if reclaimed >= gpus_needed:
+                break
+            victims.append(job_id)
+            reclaimed += gpus
+        return victims if reclaimed >= gpus_needed else []
+
+    def preemption_victims_for_load(self) -> List[str]:
+        """Free-tier jobs to preempt under heavy load."""
+        return [job_id for job_id, (user, _g, _over)
+                in self._active.items()
+                if self._tenants.get(user) is not None
+                and self._tenants[user].tier == FREE_TIER]
+
+    def note_preempted(self, job_id: str) -> None:
+        self.preemptions += 1
+        self.release(job_id)

@@ -1,0 +1,172 @@
+"""The helper pod: controller, load-data, store-results, log-collector.
+
+"For each DL job, the Guardian also creates a separate helper K8S pod ...
+which contains a number of 'helper' containers: load-data and store-results
+to load and store data, log-collector to process logs, and controller to
+orchestrate the job.  The helper pod remains isolated from the learner
+pods, but both share a common NFS filesystem" (Section 3.8).
+
+The controller reads learner status/exit files from NFS and records
+per-learner status in etcd (under a lease, so stale state self-erases if
+the whole job vanishes); the Guardian aggregates from etcd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.manifest import JobManifest
+from repro.etcd.client import EtcdClient
+from repro.nfs.volume import NFSVolume
+from repro.sim.core import Environment, Interrupt
+
+#: etcd layout for one job.
+def job_prefix(job_id: str) -> str:
+    return f"/jobs/{job_id}/"
+
+
+def learner_status_key(job_id: str, index: int) -> str:
+    return f"/jobs/{job_id}/learners/{index}/status"
+
+
+def learner_exit_key(job_id: str, index: int) -> str:
+    return f"/jobs/{job_id}/learners/{index}/exit"
+
+
+def job_status_key(job_id: str) -> str:
+    return f"/jobs/{job_id}/status"
+
+
+def halt_key(job_id: str) -> str:
+    return f"/jobs/{job_id}/halt"
+
+
+#: The controller's poll interval over NFS (its reaction latency).
+CONTROLLER_POLL_S = 0.5
+#: Lease TTL on controller-written keys; refreshed while the controller
+#: lives, so keys vanish soon after the whole job does.
+CONTROLLER_LEASE_TTL_S = 60.0
+
+
+@dataclass
+class ControllerState:
+    """Observable state of one job's controller (tests/benches read it)."""
+
+    statuses: Dict[int, str] = field(default_factory=dict)
+    exits: Dict[int, str] = field(default_factory=dict)
+    updates_written: int = 0
+    lease_id: Optional[int] = None
+
+
+def make_controller_workload(env: Environment, manifest: JobManifest,
+                             job_id: str, volume: NFSVolume,
+                             etcd: EtcdClient, state: ControllerState):
+    """Controller container: NFS -> etcd status relay."""
+
+    def workload(container):
+        lease = yield etcd.grant_lease(CONTROLLER_LEASE_TTL_S)
+        state.lease_id = lease.lease_id
+        dirty = {"paths": set()}
+        wake = [env.event()]
+
+        def on_change(path: str) -> None:
+            dirty["paths"].add(path)
+            if not wake[0].triggered:
+                wake[0].succeed()
+
+        volume.subscribe(on_change)
+        # Pick up anything written before we subscribed (controller can
+        # start after learners under unfortunate scheduling).
+        for path in volume.listdir("learners/"):
+            dirty["paths"].add(path)
+
+        keepalive_due = env.now + CONTROLLER_LEASE_TTL_S / 3
+        try:
+            while True:
+                if not dirty["paths"]:
+                    wake[0] = env.event()
+                    timeout = max(0.1, keepalive_due - env.now)
+                    yield env.any_of([wake[0], env.timeout(timeout)])
+                if env.now >= keepalive_due:
+                    yield etcd.keepalive(lease.lease_id)
+                    keepalive_due = env.now + CONTROLLER_LEASE_TTL_S / 3
+                if not dirty["paths"]:
+                    continue
+                # React within the poll interval.
+                yield env.timeout(CONTROLLER_POLL_S)
+                paths, dirty["paths"] = dirty["paths"], set()
+                for path in sorted(paths):
+                    yield from _relay(path)
+        except Interrupt:
+            raise
+
+        return 0
+
+    def _relay(path: str):
+        parts = path.split("/")
+        if len(parts) != 3 or parts[0] != "learners":
+            return
+        index = int(parts[1])
+        kind = parts[2]
+        content = volume.read(path)
+        if content is None:
+            return
+        if kind == "status":
+            state.statuses[index] = content
+            state.updates_written += 1
+            yield etcd.put(learner_status_key(job_id, index), content,
+                           lease_id=state.lease_id)
+        elif kind == "exit":
+            state.exits[index] = content
+            state.updates_written += 1
+            yield etcd.put(learner_exit_key(job_id, index), content,
+                           lease_id=state.lease_id)
+
+    return workload
+
+
+def make_log_collector_workload(env: Environment, job_id: str,
+                                volume: NFSVolume, log_sink):
+    """Log-collector container: tails learner logs into the log service."""
+
+    def workload(container):
+        shipped: Dict[str, int] = {}
+        wake = [env.event()]
+        pending = {"dirty": set()}
+
+        def on_change(path: str) -> None:
+            if path.endswith("/log"):
+                pending["dirty"].add(path)
+                if not wake[0].triggered:
+                    wake[0].succeed()
+
+        volume.subscribe(on_change)
+        while True:
+            if not pending["dirty"]:
+                wake[0] = env.event()
+                yield wake[0]
+            yield env.timeout(1.0)  # shipping batch latency
+            paths, pending["dirty"] = pending["dirty"], set()
+            for path in sorted(paths):
+                content = volume.read(path) or ""
+                start = shipped.get(path, 0)
+                for line in content[start:].splitlines():
+                    log_sink.ingest(job_id, path, line, env.now)
+                shipped[path] = len(content)
+
+    return workload
+
+
+def make_idle_sidecar_workload(env: Environment):
+    """load-data / store-results containers: on-demand transfer sidecars.
+
+    In this reproduction the learners drive their own mounts, so these
+    sidecars idle; they exist so the helper pod has the paper's container
+    inventory and so their crash/restart behaviour can be exercised.
+    """
+
+    def workload(container):
+        yield env.event()  # sleep forever (until killed)
+
+    return workload

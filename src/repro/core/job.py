@@ -1,0 +1,77 @@
+"""Runtime record of one training job inside the platform."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.helper import ControllerState
+from repro.core.learner import LearnerState
+from repro.core.manifest import JobManifest
+from repro.core.statuses import StatusHistory
+from repro.nfs.volume import NFSVolume
+
+_job_counter = itertools.count(1)
+
+
+def new_job_id(prefix: str = "job") -> str:
+    return f"{prefix}-{next(_job_counter):06d}"
+
+
+@dataclass
+class TrainingJob:
+    """All platform-side state for one submitted job."""
+
+    job_id: str
+    manifest: JobManifest
+    submitted_at: float
+    status: StatusHistory = field(default_factory=StatusHistory)
+    #: Kubernetes object names owned by this job.
+    statefulset_name: str = ""
+    ps_set_name: str = ""
+    helper_name: str = ""
+    netpol_name: str = ""
+    pvc_name: str = ""
+    guardian_job_name: str = ""
+    #: Runtime handles.
+    volume: Optional[NFSVolume] = None
+    learner_states: List[LearnerState] = field(default_factory=list)
+    controller_state: ControllerState = field(
+        default_factory=ControllerState)
+    guardian_attempts: int = 0
+    deploy_completed_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Set when admission control preempts the job.
+    preempted: bool = False
+
+    def __post_init__(self) -> None:
+        self.statefulset_name = self.statefulset_name or \
+            f"{self.job_id}-learner"
+        self.ps_set_name = self.ps_set_name or f"{self.job_id}-ps"
+        self.helper_name = self.helper_name or f"{self.job_id}-helper"
+        self.netpol_name = self.netpol_name or f"{self.job_id}-netpol"
+        self.pvc_name = self.pvc_name or f"{self.job_id}-nfs"
+        self.guardian_job_name = self.guardian_job_name or \
+            f"{self.job_id}-guardian"
+        if not self.learner_states:
+            self.learner_states = [LearnerState(i)
+                                   for i in range(self.manifest.learners)]
+
+    @property
+    def total_iterations_done(self) -> int:
+        return sum(s.iterations_done for s in self.learner_states)
+
+    @property
+    def runtime_s(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def queue_time_s(self) -> Optional[float]:
+        """Time from submission to the start of real execution."""
+        from repro.core.statuses import DOWNLOADING
+        start = self.status.time_of(DOWNLOADING)
+        if start is None:
+            return None
+        return start - self.submitted_at

@@ -1,0 +1,48 @@
+"""ElasticSearch-like log index.
+
+"[The Training Metrics Service] also helps in streaming training logs from
+jobs to be indexed and stored in ElasticSearch/Kibana for easy debugging"
+(Section 3.2).  Reliable log streaming "irrespective of the stage [the job]
+is in, even if it crashes/fails" is one of the platform requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LogEntry:
+    time: float
+    job_id: str
+    source: str  # e.g. learners/0/log
+    line: str
+
+
+class LogIndex:
+    """Append-only indexed log store with simple search."""
+
+    def __init__(self):
+        self._by_job: Dict[str, List[LogEntry]] = {}
+        self.total_entries = 0
+
+    def ingest(self, job_id: str, source: str, line: str,
+               time: float) -> None:
+        entry = LogEntry(time, job_id, source, line)
+        self._by_job.setdefault(job_id, []).append(entry)
+        self.total_entries += 1
+
+    def logs_for(self, job_id: str,
+                 source: Optional[str] = None) -> List[LogEntry]:
+        entries = self._by_job.get(job_id, [])
+        if source is not None:
+            entries = [e for e in entries if e.source == source]
+        return list(entries)
+
+    def search(self, job_id: str, needle: str) -> List[LogEntry]:
+        return [e for e in self._by_job.get(job_id, [])
+                if needle in e.line]
+
+    def job_ids(self) -> List[str]:
+        return sorted(self._by_job)

@@ -1,0 +1,104 @@
+"""DL job manifests.
+
+"FfDL simply requires data scientists to provide their existing code,
+command to execute said code, location of data, credentials to access said
+data and store results, number of learners, and the resources (GPU, CPU &
+RAM) needed per learner.  These items are described in a manifest file"
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.perfmodel.gpus import GPU_TYPES
+from repro.perfmodel.models import FRAMEWORKS, MODEL_SPECS
+from repro.core.tshirt import TSHIRT_SIZES, recommend
+
+
+@dataclass
+class JobManifest:
+    """Everything FfDL needs to run one training job."""
+
+    name: str
+    user: str
+    framework: str
+    model: str
+    command: str = "python train.py"
+    #: Data and results locations (object storage bucket names).
+    data_bucket: str = "training-data"
+    result_bucket: str = "training-results"
+    credentials_token: Optional[str] = None
+    #: Topology.  "A distributed job may also include one or more parameter
+    #: servers if the framework/user includes them; parameter servers are
+    #: also containerized" (Section 3.1).  PS pods are CPU-only members of
+    #: the job's scheduling gang.
+    learners: int = 1
+    parameter_servers: int = 0
+    cpus_per_parameter_server: float = 4.0
+    gpus_per_learner: int = 1
+    gpu_type: str = "K80"
+    cpus_per_learner: Optional[float] = None  # None -> t-shirt size
+    memory_gb_per_learner: Optional[float] = None
+    #: Training shape.
+    iterations: int = 1000
+    batch_size: int = 0  # 0 -> model default
+    dataset_objects: int = 16
+    dataset_object_bytes: float = 64e6
+    #: Fault tolerance.
+    checkpoint_interval_iterations: int = 0  # 0 -> no checkpoints
+    checkpoint_bytes: float = 5e8
+
+    def validate(self) -> "JobManifest":
+        if not self.name:
+            raise ValidationError("job name is required")
+        if not self.user:
+            raise ValidationError("user is required")
+        if self.framework not in FRAMEWORKS:
+            raise ValidationError(
+                f"unsupported framework {self.framework!r}; "
+                f"supported: {', '.join(FRAMEWORKS)}")
+        if (self.model, self.framework) not in MODEL_SPECS:
+            raise ValidationError(
+                f"no performance profile for model {self.model!r} on "
+                f"{self.framework!r}")
+        if self.learners < 1:
+            raise ValidationError("learners must be >= 1")
+        if self.parameter_servers < 0:
+            raise ValidationError("parameter_servers must be >= 0")
+        if self.gpus_per_learner < 0:
+            raise ValidationError("gpus_per_learner must be >= 0")
+        if self.gpu_type not in GPU_TYPES:
+            raise ValidationError(f"unknown gpu type {self.gpu_type!r}")
+        if self.gpus_per_learner > 0 and \
+                (self.gpu_type, self.gpus_per_learner) not in TSHIRT_SIZES \
+                and self.cpus_per_learner is None:
+            raise ValidationError(
+                f"no t-shirt size for {self.gpus_per_learner}x"
+                f"{self.gpu_type}; specify cpus_per_learner explicitly")
+        if self.iterations < 1:
+            raise ValidationError("iterations must be >= 1")
+        if self.checkpoint_interval_iterations < 0:
+            raise ValidationError("checkpoint interval must be >= 0")
+        return self
+
+    @property
+    def total_gpus(self) -> int:
+        return self.learners * self.gpus_per_learner
+
+    def effective_cpus(self) -> float:
+        if self.cpus_per_learner is not None:
+            return self.cpus_per_learner
+        if self.gpus_per_learner == 0:
+            return 4.0
+        return float(recommend(self.gpu_type, self.gpus_per_learner).cpus)
+
+    def effective_memory_gb(self) -> float:
+        if self.memory_gb_per_learner is not None:
+            return self.memory_gb_per_learner
+        if self.gpus_per_learner == 0:
+            return 8.0
+        return float(
+            recommend(self.gpu_type, self.gpus_per_learner).memory_gb)

@@ -1,0 +1,62 @@
+"""Training Metrics Service.
+
+"The Training Metrics Service is responsible for collecting metrics about
+both the training jobs and FfDL microservices.  This includes things like
+memory and network usage, number of times microservices fail and recover,
+and frequency of connectivity issues" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.logging_service import LogIndex
+from repro.sim.core import Environment
+
+
+@dataclass
+class MetricPoint:
+    time: float
+    name: str
+    value: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+
+class TrainingMetricsService:
+    """Time-series sink plus counters for component failures/recoveries."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.log_index = LogIndex()
+        self._series: Dict[str, List[MetricPoint]] = defaultdict(list)
+        self.component_failures: Dict[str, int] = defaultdict(int)
+        self.component_recoveries: Dict[str, int] = defaultdict(int)
+
+    # -- metrics -------------------------------------------------------------
+
+    def emit(self, name: str, value: float, **labels) -> None:
+        point = MetricPoint(self.env.now, name, float(value),
+                            tuple(sorted(labels.items())))
+        self._series[name].append(point)
+
+    def series(self, name: str) -> List[MetricPoint]:
+        return list(self._series[name])
+
+    def latest(self, name: str) -> float:
+        points = self._series.get(name)
+        if not points:
+            raise KeyError(f"no metric {name!r}")
+        return points[-1].value
+
+    def sum(self, name: str) -> float:
+        return sum(p.value for p in self._series.get(name, []))
+
+    # -- component health ----------------------------------------------------------
+
+    def record_failure(self, component: str) -> None:
+        self.component_failures[component] += 1
+
+    def record_recovery(self, component: str) -> None:
+        self.component_recoveries[component] += 1

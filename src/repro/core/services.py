@@ -1,0 +1,88 @@
+"""Replicated FfDL microservices and their crash/recovery behaviour.
+
+"Each microservice is replicated, with the number of replicas chosen based
+on the size of the cluster ... gRPC requests to them are automatically
+load balanced by K8S among the available replicas" (Section 3.7).  The
+Table 3 benchmark crashes replicas and measures time-to-recovery; requests
+issued while every replica is down wait for the first recovery, which is
+how the "stateless microservices restart fastest" property shows up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.metrics import TrainingMetricsService
+from repro.sim.core import Environment, Event
+from repro.sim.rng import RngRegistry
+
+
+class Microservice:
+    """A load-balanced replica set of one FfDL core service."""
+
+    def __init__(self, env: Environment, rng: RngRegistry, name: str,
+                 replicas: int = 2,
+                 recovery_range_s: Tuple[float, float] = (3.0, 5.0),
+                 request_latency_s: float = 0.003,
+                 metrics: Optional[TrainingMetricsService] = None):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.env = env
+        self.rng = rng.stream(f"microservice:{name}")
+        self.name = name
+        self.replicas = replicas
+        self.replicas_up = replicas
+        self.recovery_range_s = recovery_range_s
+        self.request_latency_s = request_latency_s
+        self.metrics = metrics
+        self._recovered = env.event()
+        self.crash_count = 0
+        self.requests_served = 0
+        self.recovery_log: List[Tuple[float, float]] = []  # (down, up)
+
+    @property
+    def available(self) -> bool:
+        return self.replicas_up > 0
+
+    def crash_replica(self) -> float:
+        """Kill one replica; returns the sampled recovery duration."""
+        if self.replicas_up <= 0:
+            return 0.0
+        self.replicas_up -= 1
+        self.crash_count += 1
+        if self.metrics is not None:
+            self.metrics.record_failure(self.name)
+        lo, hi = self.recovery_range_s
+        recovery = lo + (hi - lo) * self.rng.random()
+        down_at = self.env.now
+        self.env.process(self._recover(recovery, down_at),
+                         name=f"recover:{self.name}")
+        return recovery
+
+    def _recover(self, after_s: float, down_at: float):
+        yield self.env.timeout(after_s)
+        self.replicas_up += 1
+        self.recovery_log.append((down_at, self.env.now))
+        if self.metrics is not None:
+            self.metrics.record_recovery(self.name)
+        if not self._recovered.triggered:
+            self._recovered.succeed()
+
+    def call(self, action: Callable[[], object]) -> Event:
+        """Invoke ``action`` through the service: waits for availability,
+        pays the request latency, resolves with the result (awaiting any
+        Event the action returns)."""
+
+        def request():
+            while not self.available:
+                self._recovered = self.env.event() \
+                    if self._recovered.triggered else self._recovered
+                yield self._recovered
+            yield self.env.timeout(self.request_latency_s)
+            self.requests_served += 1
+            result = action()
+            if isinstance(result, Event):
+                result = yield result
+            return result
+
+        return self.env.process(request(), name=f"rpc:{self.name}")

@@ -1,0 +1,108 @@
+"""DL job status state machine.
+
+The paper motivates FfDL partly by the need for "DL-specific job statuses
+(e.g., DOWNLOADING, PROCESSING, STORING, HALTED, RESUMED etc.)" beyond the
+generic cluster-manager ones, with dependable timestamps ("users use
+associated timestamps for job profiling and debugging", Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PlatformError
+
+QUEUED = "QUEUED"
+DEPLOYING = "DEPLOYING"
+DOWNLOADING = "DOWNLOADING"
+PROCESSING = "PROCESSING"
+STORING = "STORING"
+COMPLETED = "COMPLETED"
+FAILED = "FAILED"
+HALTED = "HALTED"
+RESUMED = "RESUMED"
+
+ALL_STATUSES = (QUEUED, DEPLOYING, DOWNLOADING, PROCESSING, STORING,
+                COMPLETED, FAILED, HALTED, RESUMED)
+
+TERMINAL_STATUSES = (COMPLETED, FAILED)
+
+#: Legal transitions.  RESUMED re-enters the active pipeline; a restart
+#: after failure re-deploys.
+_TRANSITIONS = {
+    QUEUED: {DEPLOYING, FAILED, HALTED},
+    DEPLOYING: {DOWNLOADING, PROCESSING, STORING, COMPLETED, FAILED,
+                HALTED, QUEUED},
+    # Watch coalescing can skip intermediate statuses; restarts go back to
+    # DOWNLOADING.
+    DOWNLOADING: {PROCESSING, STORING, COMPLETED, FAILED, HALTED,
+                  DOWNLOADING},
+    PROCESSING: {STORING, COMPLETED, FAILED, HALTED, DOWNLOADING,
+                 PROCESSING},
+    STORING: {COMPLETED, FAILED, HALTED, DOWNLOADING, STORING},
+    HALTED: {RESUMED, FAILED},
+    RESUMED: {DEPLOYING, DOWNLOADING, PROCESSING, FAILED},
+    COMPLETED: set(),
+    FAILED: {QUEUED},  # operator-driven full restart
+}
+
+
+@dataclass
+class StatusRecord:
+    status: str
+    time: float
+    message: str = ""
+
+
+@dataclass
+class StatusHistory:
+    """Current status plus the full timestamped history."""
+
+    records: List[StatusRecord] = field(default_factory=list)
+
+    @property
+    def current(self) -> Optional[str]:
+        return self.records[-1].status if self.records else None
+
+    def transition(self, status: str, time: float,
+                   message: str = "") -> StatusRecord:
+        if status not in ALL_STATUSES:
+            raise PlatformError(f"unknown status {status!r}")
+        current = self.current
+        if current is not None and status not in _TRANSITIONS[current]:
+            raise PlatformError(
+                f"illegal status transition {current} -> {status}")
+        record = StatusRecord(status, time, message)
+        self.records.append(record)
+        return record
+
+    def duration_in(self, status: str) -> float:
+        """Total time spent in ``status`` (open interval if current)."""
+        total = 0.0
+        for i, record in enumerate(self.records):
+            if record.status != status:
+                continue
+            if i + 1 < len(self.records):
+                total += self.records[i + 1].time - record.time
+        return total
+
+    def time_of(self, status: str) -> Optional[float]:
+        """Timestamp of the first entry into ``status``."""
+        for record in self.records:
+            if record.status == status:
+                return record.time
+        return None
+
+    def timeline(self) -> List[Tuple[str, float]]:
+        return [(r.status, r.time) for r in self.records]
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.current in TERMINAL_STATUSES
+
+
+def is_valid_transition(src: Optional[str], dst: str) -> bool:
+    if src is None:
+        return True
+    return dst in _TRANSITIONS.get(src, set())

@@ -1,0 +1,12 @@
+"""Container runtime substrate: images, a registry, and containers."""
+
+from repro.docker.runtime import (
+    CREATED,
+    Container,
+    EXITED,
+    Image,
+    Registry,
+    RUNNING,
+)
+
+__all__ = ["CREATED", "Container", "EXITED", "Image", "Registry", "RUNNING"]

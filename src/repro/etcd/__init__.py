@@ -1,0 +1,30 @@
+"""etcd substrate: KV store with revisions, watches, leases; Raft-replicated."""
+
+from repro.etcd.client import DEFAULT_ETCD_LATENCY_S, EtcdClient
+from repro.etcd.kv import (
+    Compare,
+    DELETE,
+    EtcdStore,
+    KeyValue,
+    Lease,
+    Op,
+    PUT,
+    Watcher,
+    WatchEvent,
+)
+from repro.etcd.replicated import ReplicatedEtcd
+
+__all__ = [
+    "Compare",
+    "DEFAULT_ETCD_LATENCY_S",
+    "DELETE",
+    "EtcdClient",
+    "EtcdStore",
+    "KeyValue",
+    "Lease",
+    "Op",
+    "PUT",
+    "ReplicatedEtcd",
+    "Watcher",
+    "WatchEvent",
+]

@@ -1,0 +1,306 @@
+"""The etcd key-value core: revisions, ranges, transactions, watches, leases.
+
+:class:`EtcdStore` is a faithful single-node model of the etcd v3 data
+model subset that FfDL relies on (Section 3.2 of the paper): small values,
+per-key *streaming watches*, leases with TTL, and compare-and-swap
+transactions.  Replication is layered on separately
+(:mod:`repro.etcd.replicated`) via Raft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CompareFailedError, LeaseExpiredError, StoreError
+from repro.sim.core import Environment
+from repro.sim.resources import Store as EventQueue
+
+PUT = "PUT"
+DELETE = "DELETE"
+
+
+@dataclass
+class KeyValue:
+    """One stored key-value pair with etcd-style revision bookkeeping."""
+
+    key: str
+    value: Any
+    create_revision: int
+    mod_revision: int
+    version: int = 1
+    lease_id: Optional[int] = None
+
+
+@dataclass
+class WatchEvent:
+    """A change notification delivered to watchers."""
+
+    type: str  # PUT or DELETE
+    key: str
+    value: Any
+    revision: int
+    prev_value: Any = None
+
+
+@dataclass
+class Compare:
+    """A transaction guard: compare a key's field against a target value.
+
+    ``field`` is one of ``value``, ``version``, ``mod_revision``,
+    ``create_revision``; ``op`` is one of ``==``, ``!=``, ``<``, ``>``.
+    A ``version`` of 0 means "key does not exist", matching etcd semantics.
+    """
+
+    key: str
+    field: str = "value"
+    op: str = "=="
+    target: Any = None
+
+
+@dataclass
+class Op:
+    """A transaction operation: ('put', key, value) or ('delete', key)."""
+
+    kind: str
+    key: str
+    value: Any = None
+    lease_id: Optional[int] = None
+
+
+@dataclass
+class Lease:
+    """A TTL lease; keys attached to it are deleted when it expires."""
+
+    lease_id: int
+    ttl_s: float
+    deadline: float
+    keys: set = field(default_factory=set)
+    revoked: bool = False
+
+
+class Watcher:
+    """A streaming watch on a key or prefix.
+
+    Events arrive in commit order on :attr:`queue`; consume them with
+    ``event = yield watcher.get()``.
+    """
+
+    def __init__(self, env: Environment, key: str, is_prefix: bool):
+        self.key = key
+        self.is_prefix = is_prefix
+        self.queue = EventQueue(env)
+        self.cancelled = False
+
+    def matches(self, key: str) -> bool:
+        if self.is_prefix:
+            return key.startswith(self.key)
+        return key == self.key
+
+    def get(self):
+        """Return a sim event firing with the next :class:`WatchEvent`."""
+        return self.queue.get()
+
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EtcdStore:
+    """Single-node etcd: the state machine replicated by Raft."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.revision = 0
+        self._data: Dict[str, KeyValue] = {}
+        self._watchers: List[Watcher] = []
+        self._leases: Dict[int, Lease] = {}
+        self._next_lease_id = 1
+        #: Optional hook invoked when a lease expires, before its keys are
+        #: deleted.  The replicated store uses this to route expiry deletes
+        #: through consensus.
+        self.on_lease_expired: Optional[Callable[[Lease], None]] = None
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[KeyValue]:
+        return self._data.get(key)
+
+    def range(self, prefix: str) -> List[KeyValue]:
+        """All live keys with the given prefix, sorted by key."""
+        return [self._data[k] for k in sorted(self._data)
+                if k.startswith(prefix)]
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: str, value: Any,
+            lease_id: Optional[int] = None) -> KeyValue:
+        if lease_id is not None:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.revoked:
+                raise LeaseExpiredError(f"lease {lease_id} not alive")
+            lease.keys.add(key)
+        self.revision += 1
+        existing = self._data.get(key)
+        if existing is None:
+            kv = KeyValue(key, value, self.revision, self.revision, 1,
+                          lease_id)
+        else:
+            kv = KeyValue(key, value, existing.create_revision,
+                          self.revision, existing.version + 1,
+                          lease_id if lease_id is not None
+                          else existing.lease_id)
+        prev = existing.value if existing else None
+        self._data[key] = kv
+        self._notify(WatchEvent(PUT, key, value, self.revision, prev))
+        return kv
+
+    def delete(self, key: str) -> int:
+        """Delete one key; returns the number of keys removed (0 or 1)."""
+        existing = self._data.pop(key, None)
+        if existing is None:
+            return 0
+        self.revision += 1
+        if existing.lease_id is not None:
+            lease = self._leases.get(existing.lease_id)
+            if lease is not None:
+                lease.keys.discard(key)
+        self._notify(WatchEvent(DELETE, key, None, self.revision,
+                                existing.value))
+        return 1
+
+    def delete_prefix(self, prefix: str) -> int:
+        count = 0
+        for key in [k for k in self._data if k.startswith(prefix)]:
+            count += self.delete(key)
+        return count
+
+    # -- transactions --------------------------------------------------------
+
+    def check(self, compare: Compare) -> bool:
+        kv = self._data.get(compare.key)
+        if compare.field == "value":
+            actual = kv.value if kv else None
+        elif compare.field == "version":
+            actual = kv.version if kv else 0
+        elif compare.field == "mod_revision":
+            actual = kv.mod_revision if kv else 0
+        elif compare.field == "create_revision":
+            actual = kv.create_revision if kv else 0
+        else:
+            raise StoreError(f"unknown compare field {compare.field!r}")
+        if compare.op == "==":
+            return actual == compare.target
+        if compare.op == "!=":
+            return actual != compare.target
+        if compare.op == "<":
+            return actual < compare.target
+        if compare.op == ">":
+            return actual > compare.target
+        raise StoreError(f"unknown compare op {compare.op!r}")
+
+    def txn(self, compares: Iterable[Compare],
+            on_success: Iterable[Op],
+            on_failure: Iterable[Op] = ()) -> Tuple[bool, List[Any]]:
+        """Atomically: if all compares hold, apply on_success, else on_failure.
+
+        Returns ``(succeeded, results)``.
+        """
+        succeeded = all(self.check(c) for c in compares)
+        ops = on_success if succeeded else on_failure
+        results = []
+        for op in ops:
+            if op.kind == "put":
+                results.append(self.put(op.key, op.value, op.lease_id))
+            elif op.kind == "delete":
+                results.append(self.delete(op.key))
+            else:
+                raise StoreError(f"unknown txn op {op.kind!r}")
+        return succeeded, results
+
+    def cas(self, key: str, expected_value: Any, new_value: Any) -> KeyValue:
+        """Compare-and-swap convenience; raises on mismatch."""
+        ok, results = self.txn(
+            [Compare(key, "value", "==", expected_value)],
+            [Op("put", key, new_value)])
+        if not ok:
+            raise CompareFailedError(
+                f"cas on {key!r}: value != {expected_value!r}")
+        return results[0]
+
+    # -- watches --------------------------------------------------------------
+
+    def watch(self, key: str) -> Watcher:
+        return self._add_watcher(Watcher(self.env, key, is_prefix=False))
+
+    def watch_prefix(self, prefix: str) -> Watcher:
+        return self._add_watcher(Watcher(self.env, prefix, is_prefix=True))
+
+    def _add_watcher(self, watcher: Watcher) -> Watcher:
+        self._watchers.append(watcher)
+        return watcher
+
+    def _notify(self, event: WatchEvent) -> None:
+        live = []
+        for watcher in self._watchers:
+            if watcher.cancelled:
+                continue
+            live.append(watcher)
+            if watcher.matches(event.key):
+                watcher.queue.put(event)
+        self._watchers = live
+
+    # -- leases ----------------------------------------------------------------
+
+    def grant_lease(self, ttl_s: float) -> Lease:
+        """Grant a lease; an expiry process deletes its keys at the deadline."""
+        if ttl_s <= 0:
+            raise StoreError("lease ttl must be positive")
+        lease = Lease(self._next_lease_id, ttl_s, self.env.now + ttl_s)
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        self.env.process(self._expiry_watchdog(lease),
+                         name=f"lease:{lease.lease_id}")
+        return lease
+
+    def keepalive(self, lease_id: int) -> bool:
+        """Extend a lease by its TTL; False if it is already gone."""
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.revoked:
+            return False
+        lease.deadline = self.env.now + lease.ttl_s
+        return True
+
+    def revoke(self, lease_id: int) -> bool:
+        """Revoke a lease, deleting all attached keys."""
+        lease = self._leases.pop(lease_id, None)
+        if lease is None or lease.revoked:
+            return False
+        lease.revoked = True
+        for key in list(lease.keys):
+            self.delete(key)
+        return True
+
+    def lease_alive(self, lease_id: int) -> bool:
+        lease = self._leases.get(lease_id)
+        return lease is not None and not lease.revoked
+
+    def _expiry_watchdog(self, lease: Lease):
+        while not lease.revoked:
+            remaining = lease.deadline - self.env.now
+            if remaining <= 0:
+                if self.on_lease_expired is not None:
+                    self.on_lease_expired(lease)
+                    if lease.revoked:
+                        return
+                self.revoke(lease.lease_id)
+                return
+            yield self.env.timeout(remaining)

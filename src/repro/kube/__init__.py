@@ -1,0 +1,63 @@
+"""Simulated Kubernetes: API objects, scheduler, controllers, kubelets."""
+
+from repro.kube.api import ADDED, DELETED, KubeAPI, MODIFIED
+from repro.kube.cluster import Cluster
+from repro.kube.events import EventLog, KubeEvent
+from repro.kube.objects import (
+    ContainerSpec,
+    Deployment,
+    FAILED,
+    KubeJob,
+    NetworkPolicy,
+    Node,
+    PENDING,
+    PersistentVolumeClaim,
+    Pod,
+    PodSpec,
+    PodTemplate,
+    ObjectMeta,
+    ReplicaSet,
+    RESTART_ALWAYS,
+    RESTART_NEVER,
+    RESTART_ON_FAILURE,
+    RUNNING,
+    StatefulSet,
+    SUCCEEDED,
+)
+from repro.kube.resources import NodeAllocation, NodeCapacity, ResourceRequest
+from repro.kube.scheduling import PACK, SPREAD, Scheduler, SchedulerConfig
+
+__all__ = [
+    "ADDED",
+    "Cluster",
+    "ContainerSpec",
+    "DELETED",
+    "Deployment",
+    "EventLog",
+    "FAILED",
+    "KubeAPI",
+    "KubeEvent",
+    "KubeJob",
+    "MODIFIED",
+    "NetworkPolicy",
+    "Node",
+    "NodeAllocation",
+    "NodeCapacity",
+    "ObjectMeta",
+    "PACK",
+    "PENDING",
+    "PersistentVolumeClaim",
+    "Pod",
+    "PodSpec",
+    "PodTemplate",
+    "ReplicaSet",
+    "RESTART_ALWAYS",
+    "RESTART_NEVER",
+    "RESTART_ON_FAILURE",
+    "RUNNING",
+    "SPREAD",
+    "Scheduler",
+    "SchedulerConfig",
+    "StatefulSet",
+    "SUCCEEDED",
+]

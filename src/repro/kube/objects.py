@@ -1,0 +1,245 @@
+"""Kubernetes API object model (the subset FfDL uses).
+
+Pods, Nodes, ReplicaSets, StatefulSets, Jobs, Deployments, PVCs and
+NetworkPolicies, with owner references for garbage collection and gang
+annotations for the gang scheduler (the pod "owner" is how the paper's BSA
+scheduler discovers gang name and size).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.kube.resources import NodeCapacity, ResourceRequest
+
+# Pod phases.
+PENDING = "Pending"
+RUNNING = "Running"
+SUCCEEDED = "Succeeded"
+FAILED = "Failed"
+
+# Node conditions.
+NODE_READY = "Ready"
+NODE_NOT_READY = "NotReady"
+
+# Restart policies.
+RESTART_ALWAYS = "Always"
+RESTART_ON_FAILURE = "OnFailure"
+RESTART_NEVER = "Never"
+
+_uid_counter = itertools.count(1)
+
+
+def new_uid(prefix: str = "uid") -> str:
+    return f"{prefix}-{next(_uid_counter):08d}"
+
+
+@dataclass
+class ObjectMeta:
+    """Identity and bookkeeping shared by all API objects."""
+
+    name: str
+    namespace: str = "default"
+    labels: Dict[str, str] = field(default_factory=dict)
+    annotations: Dict[str, str] = field(default_factory=dict)
+    uid: str = field(default_factory=lambda: new_uid())
+    owner: Optional[str] = None  # owner object's uid
+    creation_time: float = 0.0
+    deletion_requested: bool = False
+    deletion_requested_at: float = 0.0
+
+
+@dataclass
+class ContainerSpec:
+    """One container in a pod: the image plus its workload factory.
+
+    ``workload`` is a callable ``(container) -> generator`` executed on the
+    sim kernel when the kubelet starts the container; ``None`` means an idle
+    container that runs until killed.
+    """
+
+    name: str
+    image: str
+    workload: Optional[Callable[[Any], Generator]] = None
+
+
+@dataclass
+class PodSpec:
+    containers: List[ContainerSpec] = field(default_factory=list)
+    resources: ResourceRequest = field(default_factory=ResourceRequest)
+    restart_policy: str = RESTART_NEVER
+    node_selector: Dict[str, str] = field(default_factory=dict)
+    volume_claims: List[str] = field(default_factory=list)
+    #: Gang scheduling metadata (derived from the owning set).
+    gang_name: Optional[str] = None
+    gang_size: int = 1
+
+
+@dataclass
+class Pod:
+    meta: ObjectMeta
+    spec: PodSpec
+    phase: str = PENDING
+    node_name: Optional[str] = None
+    #: Timestamps for queueing analyses.
+    scheduled_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    restarts: int = 0
+    #: Why the pod reached a terminal phase (for failure analysis).
+    termination_reason: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.phase in (SUCCEEDED, FAILED)
+
+
+@dataclass
+class Node:
+    meta: ObjectMeta
+    capacity: NodeCapacity
+    condition: str = NODE_READY
+    unschedulable: bool = False  # cordoned
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def is_ready(self) -> bool:
+        return self.condition == NODE_READY and not self.unschedulable
+
+
+@dataclass
+class PodTemplate:
+    """Template stamped out by the set controllers."""
+
+    containers: List[ContainerSpec] = field(default_factory=list)
+    resources: ResourceRequest = field(default_factory=ResourceRequest)
+    restart_policy: str = RESTART_ALWAYS
+    node_selector: Dict[str, str] = field(default_factory=dict)
+    volume_claims: List[str] = field(default_factory=list)
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def instantiate(self, name: str, owner_uid: str, now: float,
+                    gang_name: Optional[str] = None,
+                    gang_size: int = 1) -> Pod:
+        meta = ObjectMeta(name=name, labels=dict(self.labels),
+                          owner=owner_uid, creation_time=now)
+        spec = PodSpec(containers=list(self.containers),
+                       resources=self.resources,
+                       restart_policy=self.restart_policy,
+                       node_selector=dict(self.node_selector),
+                       volume_claims=list(self.volume_claims),
+                       gang_name=gang_name, gang_size=gang_size)
+        return Pod(meta=meta, spec=spec)
+
+
+@dataclass
+class ReplicaSet:
+    meta: ObjectMeta
+    replicas: int
+    template: PodTemplate
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+
+@dataclass
+class StatefulSet:
+    """Stable-identity replicas (learner-0, learner-1, ...)."""
+
+    meta: ObjectMeta
+    replicas: int
+    template: PodTemplate
+    #: Whether the set's pods form a scheduling gang.
+    gang: bool = True
+    #: Optional explicit gang identity: several sets (e.g. learners and
+    #: parameter servers of one DL job) can share one gang.
+    gang_name: Optional[str] = None
+    gang_size: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    def effective_gang_name(self) -> Optional[str]:
+        if not self.gang:
+            return None
+        return self.gang_name or self.name
+
+    def effective_gang_size(self) -> int:
+        return self.gang_size if self.gang_size is not None \
+            else self.replicas
+
+
+@dataclass
+class KubeJob:
+    """Run-to-completion workload (the Guardian runs as one of these)."""
+
+    meta: ObjectMeta
+    template: PodTemplate
+    backoff_limit: int = 6
+    completions: int = 1
+    #: Filled by the controller.
+    succeeded: int = 0
+    failed_attempts: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+
+@dataclass
+class Deployment:
+    """Thin wrapper over a ReplicaSet (FfDL helper pods use these)."""
+
+    meta: ObjectMeta
+    replicas: int
+    template: PodTemplate
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+
+@dataclass
+class PersistentVolumeClaim:
+    meta: ObjectMeta
+    bound: bool = False
+    volume: Any = None  # NFSVolume once bound
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+
+@dataclass
+class NetworkPolicy:
+    """Isolation policy restricting a job's pods to their own peer group."""
+
+    meta: ObjectMeta
+    pod_selector: Dict[str, str] = field(default_factory=dict)
+    allowed_peer_labels: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    def applies_to(self, pod: Pod) -> bool:
+        return all(pod.meta.labels.get(k) == v
+                   for k, v in self.pod_selector.items())
+
+    def allows(self, src: Pod, dst: Pod) -> bool:
+        """Whether traffic from src to dst is permitted by this policy."""
+        if not self.applies_to(dst):
+            return True
+        return all(src.meta.labels.get(k) == v
+                   for k, v in self.allowed_peer_labels.items())

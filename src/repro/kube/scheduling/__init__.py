@@ -1,0 +1,8 @@
+"""Scheduling: filter/score framework, Spread/Pack policies, BSA gang mode."""
+
+from repro.kube.scheduling.bsa import bsa_place
+from repro.kube.scheduling.framework import Scheduler, SchedulerConfig
+from repro.kube.scheduling.policies import PACK, SPREAD, score_node
+
+__all__ = ["PACK", "SPREAD", "Scheduler", "SchedulerConfig", "bsa_place",
+           "score_node"]

@@ -1,0 +1,144 @@
+"""Biased Sampling Algorithm (BSA) for gang placement.
+
+The paper adapts Tantawi's BSA [43, 44] as the K8S gang scheduler: the
+logical entities are all pods in a gang, the physical entities are the
+nodes, and "since in a DL platform, GPU is typically a scarce resource, the
+objective is to pack GPU resources".  At production scale the assignment
+space is combinatorially explosive, so BSA importance-samples node choices
+biased toward nodes that satisfy the constraints and improve the packing
+objective, keeping the best feasible assignment over a bounded number of
+sampling rounds.
+
+This module is a self-contained implementation of that heuristic: it never
+mutates the real allocations — callers apply the returned assignment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.kube.objects import Pod
+from repro.kube.resources import NodeAllocation, ResourceRequest
+
+
+class _Tentative:
+    """Lightweight free-resource view used during a sampling round."""
+
+    __slots__ = ("free_cpus", "free_memory_gb", "free_gpus", "capacity")
+
+    def __init__(self, allocation: NodeAllocation):
+        self.free_cpus = allocation.free_cpus
+        self.free_memory_gb = allocation.free_memory_gb
+        self.free_gpus = allocation.free_gpus
+        self.capacity = allocation.capacity
+
+    def fits(self, request: ResourceRequest) -> bool:
+        if request.gpus > 0:
+            if self.capacity.gpus == 0:
+                return False
+            if request.gpu_type not in (None, "any", self.capacity.gpu_type):
+                return False
+            if request.gpus > self.free_gpus:
+                return False
+        return (request.cpus <= self.free_cpus + 1e-9
+                and request.memory_gb <= self.free_memory_gb + 1e-9)
+
+    def take(self, request: ResourceRequest) -> None:
+        self.free_cpus -= request.cpus
+        self.free_memory_gb -= request.memory_gb
+        self.free_gpus -= request.gpus
+
+    def gpu_utilization(self) -> float:
+        if self.capacity.gpus == 0:
+            return 0.0
+        return (self.capacity.gpus - self.free_gpus) / self.capacity.gpus
+
+
+#: BSA objectives: pack GPUs onto few nodes (FfDL's choice, GPUs being the
+#: scarce resource) or balance load across nodes (the alternative objective
+#: the paper mentions the framework supports).
+OBJECTIVE_PACK = "pack"
+OBJECTIVE_BALANCE = "balance"
+
+
+def _bias_weight(view: _Tentative, request: ResourceRequest,
+                 alpha: float, objective: str) -> float:
+    """Sampling bias toward nodes that improve the objective."""
+    if objective == OBJECTIVE_BALANCE:
+        if request.gpus > 0:
+            return (1.0 + view.free_gpus) ** alpha
+        return (1.0 + view.free_cpus) ** alpha
+    if request.gpus > 0:
+        return (1.0 + view.gpu_utilization() * view.capacity.gpus) ** alpha
+    used_cpu = view.capacity.cpus - view.free_cpus
+    return (1.0 + used_cpu) ** alpha
+
+
+def _assignment_score(assignment: Dict[str, str],
+                      views: Dict[str, _Tentative],
+                      objective: str) -> float:
+    if objective == OBJECTIVE_BALANCE:
+        # Minimize the variance of GPU utilization across nodes.
+        utils = [view.gpu_utilization() for view in views.values()]
+        mean = sum(utils) / len(utils)
+        variance = sum((u - mean) ** 2 for u in utils) / len(utils)
+        return -variance
+    # Pack: fewer distinct nodes, higher GPU packing.
+    nodes_used = len(set(assignment.values()))
+    packing = sum(view.gpu_utilization() ** 2
+                  for view in views.values())
+    return -float(nodes_used) + 0.01 * packing
+
+
+def bsa_place(
+    pods: Sequence[Pod],
+    allocations: Dict[str, NodeAllocation],
+    eligible_nodes: Dict[str, List[str]],
+    rng: random.Random,
+    rounds: int = 8,
+    alpha: float = 2.0,
+    objective: str = OBJECTIVE_PACK,
+) -> Optional[Dict[str, str]]:
+    """Find an all-or-nothing placement for the gang.
+
+    ``eligible_nodes`` maps each pod name to the node names that pass its
+    predicate filter (selector, readiness) against *current* state; resource
+    feasibility is re-evaluated against the tentative view inside each
+    sampling round.  Returns pod-name -> node-name, or None if no feasible
+    assignment was sampled.
+    """
+    if not pods:
+        return {}
+    # Largest resource consumers first: standard bin-packing ordering that
+    # BSA rounds all share.
+    ordered = sorted(
+        pods,
+        key=lambda p: (p.spec.resources.gpus, p.spec.resources.cpus),
+        reverse=True)
+    best: Optional[Dict[str, str]] = None
+    best_score = float("-inf")
+    for _round in range(rounds):
+        views = {name: _Tentative(alloc)
+                 for name, alloc in allocations.items()}
+        assignment: Dict[str, str] = {}
+        feasible_round = True
+        for pod in ordered:
+            request = pod.spec.resources
+            candidates = [n for n in eligible_nodes.get(pod.name, [])
+                          if views[n].fits(request)]
+            if not candidates:
+                feasible_round = False
+                break
+            weights = [_bias_weight(views[n], request, alpha, objective)
+                       for n in candidates]
+            choice = rng.choices(candidates, weights=weights, k=1)[0]
+            assignment[pod.name] = choice
+            views[choice].take(request)
+        if not feasible_round:
+            continue
+        score = _assignment_score(assignment, views, objective)
+        if score > best_score:
+            best_score = score
+            best = assignment
+    return best

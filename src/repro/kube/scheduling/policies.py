@@ -1,0 +1,42 @@
+"""Node-scoring policies: Spread (Kubernetes default) and Pack (FfDL).
+
+Section 3.4: Spread "distributes pods over the cluster, and avoids placing
+two pods which are replicas of the same workload on the same physical
+machine", which fragments GPU capacity; FfDL's Pack extension "crams" a DL
+job into as few machines as possible, keeping whole machines free for large
+jobs.
+"""
+
+from __future__ import annotations
+
+from repro.kube.objects import Pod
+from repro.kube.resources import NodeAllocation
+
+SPREAD = "spread"
+PACK = "pack"
+
+
+def score_node(policy: str, pod: Pod, node_name: str,
+               allocation: NodeAllocation,
+               same_owner_pods: int) -> float:
+    """Higher is better.  ``same_owner_pods`` counts pods of the same owner
+    already bound to this node (Spread penalizes these)."""
+    if policy == SPREAD:
+        # Prefer nodes without replicas of the same workload, then the
+        # least-loaded node.
+        load = _load_fraction(allocation)
+        return -100.0 * same_owner_pods - load
+    if policy == PACK:
+        # Prefer the fullest node that still fits: best-fit packing on the
+        # scarce resource (GPUs when the pod wants them, CPUs otherwise).
+        if pod.spec.resources.gpus > 0 and allocation.capacity.gpus > 0:
+            return allocation.gpu_utilization
+        return _load_fraction(allocation)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def _load_fraction(allocation: NodeAllocation) -> float:
+    cap = allocation.capacity
+    cpu_frac = 1.0 - allocation.free_cpus / cap.cpus if cap.cpus else 0.0
+    gpu_frac = allocation.gpu_utilization
+    return max(cpu_frac, gpu_frac)

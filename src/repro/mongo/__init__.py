@@ -1,0 +1,17 @@
+"""MongoDB substrate: document store with query subset and replica sets."""
+
+from repro.mongo.client import DEFAULT_MONGO_LATENCY_S, MongoClient
+from repro.mongo.collection import Collection
+from repro.mongo.database import MongoDatabase, MongoReplicaSet
+from repro.mongo.query import apply_update, matches, sort_documents
+
+__all__ = [
+    "Collection",
+    "DEFAULT_MONGO_LATENCY_S",
+    "MongoClient",
+    "MongoDatabase",
+    "MongoReplicaSet",
+    "apply_update",
+    "matches",
+    "sort_documents",
+]

@@ -1,0 +1,75 @@
+"""Latency-modelled client for MongoDB, mirroring :class:`EtcdClient`.
+
+FfDL's API service persists job metadata through this client; its higher
+per-op latency relative to etcd is what the status-store ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.mongo.collection import Collection
+from repro.mongo.database import MongoDatabase, MongoReplicaSet
+from repro.sim.core import Environment, Event
+
+#: Request latency of MongoDB for small documents (an order of magnitude
+#: slower than etcd for the coordination workload, per the paper's rationale).
+DEFAULT_MONGO_LATENCY_S = 0.015
+
+
+class MongoClient:
+    """Issue MongoDB operations as simulation processes."""
+
+    def __init__(self, env: Environment,
+                 backend: Union[MongoDatabase, MongoReplicaSet],
+                 latency_s: float = DEFAULT_MONGO_LATENCY_S):
+        self.env = env
+        self.backend = backend
+        self.latency_s = latency_s
+        self.ops_issued = 0
+
+    def _collection(self, name: str) -> Collection:
+        return self.backend.collection(name)
+
+    def _call(self, action) -> Event:
+        self.ops_issued += 1
+
+        def op():
+            yield self.env.timeout(self.latency_s)
+            return action()
+
+        return self.env.process(op(), name="mongo-op")
+
+    def insert_one(self, collection: str, document: Dict[str, Any]) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .insert_one(document))
+
+    def update_one(self, collection: str, query: Dict[str, Any],
+                   update: Dict[str, Any], upsert: bool = False) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .update_one(query, update, upsert=upsert))
+
+    def update_many(self, collection: str, query: Dict[str, Any],
+                    update: Dict[str, Any]) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .update_many(query, update))
+
+    def find(self, collection: str, query: Optional[Dict[str, Any]] = None,
+             sort: Optional[List] = None,
+             limit: Optional[int] = None) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .find(query, sort=sort, limit=limit))
+
+    def find_one(self, collection: str,
+                 query: Optional[Dict[str, Any]] = None,
+                 sort: Optional[List] = None) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .find_one(query, sort=sort))
+
+    def delete_many(self, collection: str, query: Dict[str, Any]) -> Event:
+        return self._call(lambda: self._collection(collection)
+                          .delete_many(query))
+
+    def count(self, collection: str,
+              query: Optional[Dict[str, Any]] = None) -> Event:
+        return self._call(lambda: self._collection(collection).count(query))

@@ -1,0 +1,189 @@
+"""An in-memory MongoDB collection.
+
+Documents are plain dicts keyed by ``_id`` (auto-assigned when omitted).
+Supports the query/update subset in :mod:`repro.mongo.query`, unique
+indexes, sort/limit, and upserts — everything FfDL's metadata layer uses.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.mongo.query import (
+    MISSING,
+    apply_update,
+    get_path,
+    matches,
+    sort_documents,
+)
+
+
+class Collection:
+    """A named collection of documents."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: Dict[Any, Dict[str, Any]] = {}
+        self._id_counter = itertools.count(1)
+        self._unique_indexes: List[str] = []
+        #: Change log consumed by the replication layer: (op, payload).
+        self.oplog: List[tuple] = []
+
+    # -- index management -----------------------------------------------------
+
+    def create_index(self, field: str, unique: bool = False) -> None:
+        """Declare an index.  Only unique indexes change behaviour here; the
+        simulation does not model index lookup speed."""
+        if unique and field not in self._unique_indexes:
+            for doc in self._documents.values():
+                self._check_unique(field, doc, exclude_id=doc["_id"])
+            self._unique_indexes.append(field)
+
+    def _check_unique(self, field: str, candidate: Dict[str, Any],
+                      exclude_id: Any = None) -> None:
+        value = get_path(candidate, field)
+        if value is MISSING:
+            return
+        for doc in self._documents.values():
+            if doc["_id"] == exclude_id:
+                continue
+            if get_path(doc, field) == value:
+                raise DuplicateKeyError(
+                    f"duplicate value {value!r} for unique index "
+                    f"{field!r} in {self.name!r}")
+
+    def _check_all_unique(self, candidate: Dict[str, Any],
+                          exclude_id: Any = None) -> None:
+        for field in self._unique_indexes:
+            self._check_unique(field, candidate, exclude_id)
+
+    # -- writes ------------------------------------------------------------------
+
+    def insert_one(self, document: Dict[str, Any]) -> Any:
+        doc = copy.deepcopy(document)
+        if "_id" not in doc:
+            doc["_id"] = f"{self.name}-{next(self._id_counter)}"
+        if doc["_id"] in self._documents:
+            raise DuplicateKeyError(f"_id {doc['_id']!r} already exists")
+        self._check_all_unique(doc)
+        self._documents[doc["_id"]] = doc
+        self.oplog.append(("insert", copy.deepcopy(doc)))
+        return doc["_id"]
+
+    def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
+        return [self.insert_one(doc) for doc in documents]
+
+    def update_one(self, query: Dict[str, Any], update: Dict[str, Any],
+                   upsert: bool = False) -> int:
+        """Update the first match; returns the number of documents modified."""
+        for doc in self._iter_matches(query):
+            updated = apply_update(copy.deepcopy(doc), update)
+            self._check_all_unique(updated, exclude_id=doc["_id"])
+            self._documents[doc["_id"]] = updated
+            self.oplog.append(("update", copy.deepcopy(updated)))
+            return 1
+        if upsert:
+            seed = {k: v for k, v in query.items()
+                    if not k.startswith("$") and not isinstance(v, dict)}
+            base = apply_update(seed, update)
+            self.insert_one(base)
+            return 1
+        return 0
+
+    def update_many(self, query: Dict[str, Any],
+                    update: Dict[str, Any]) -> int:
+        count = 0
+        for doc in list(self._iter_matches(query)):
+            updated = apply_update(copy.deepcopy(doc), update)
+            self._check_all_unique(updated, exclude_id=doc["_id"])
+            self._documents[doc["_id"]] = updated
+            self.oplog.append(("update", copy.deepcopy(updated)))
+            count += 1
+        return count
+
+    def replace_one(self, query: Dict[str, Any],
+                    replacement: Dict[str, Any]) -> int:
+        for doc in self._iter_matches(query):
+            new_doc = copy.deepcopy(replacement)
+            new_doc["_id"] = doc["_id"]
+            self._check_all_unique(new_doc, exclude_id=doc["_id"])
+            self._documents[doc["_id"]] = new_doc
+            self.oplog.append(("update", copy.deepcopy(new_doc)))
+            return 1
+        return 0
+
+    def delete_one(self, query: Dict[str, Any]) -> int:
+        for doc in self._iter_matches(query):
+            del self._documents[doc["_id"]]
+            self.oplog.append(("delete", doc["_id"]))
+            return 1
+        return 0
+
+    def delete_many(self, query: Dict[str, Any]) -> int:
+        victims = [doc["_id"] for doc in self._iter_matches(query)]
+        for doc_id in victims:
+            del self._documents[doc_id]
+            self.oplog.append(("delete", doc_id))
+        return len(victims)
+
+    # -- reads -------------------------------------------------------------------
+
+    def find(self, query: Optional[Dict[str, Any]] = None,
+             sort: Optional[list] = None,
+             limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        results = [copy.deepcopy(doc)
+                   for doc in self._iter_matches(query or {})]
+        results = sort_documents(results, sort)
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+    def find_one(self,
+                 query: Optional[Dict[str, Any]] = None,
+                 sort: Optional[list] = None) -> Optional[Dict[str, Any]]:
+        results = self.find(query, sort=sort, limit=1)
+        return results[0] if results else None
+
+    def get(self, doc_id: Any) -> Dict[str, Any]:
+        """Fetch by _id; raises if absent."""
+        doc = self._documents.get(doc_id)
+        if doc is None:
+            raise KeyNotFoundError(f"no document {doc_id!r} in {self.name!r}")
+        return copy.deepcopy(doc)
+
+    def count(self, query: Optional[Dict[str, Any]] = None) -> int:
+        if not query:
+            return len(self._documents)
+        return sum(1 for _ in self._iter_matches(query))
+
+    def distinct(self, field: str,
+                 query: Optional[Dict[str, Any]] = None) -> List[Any]:
+        seen = []
+        for doc in self._iter_matches(query or {}):
+            value = get_path(doc, field)
+            if value is not MISSING and value not in seen:
+                seen.append(value)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def _iter_matches(self, query: Dict[str, Any]):
+        for doc in self._documents.values():
+            if matches(doc, query):
+                yield doc
+
+    # -- replication support --------------------------------------------------------
+
+    def apply_oplog_entry(self, entry: tuple) -> None:
+        """Apply a change-log entry verbatim (used by secondaries)."""
+        op, payload = entry
+        if op == "insert":
+            self._documents[payload["_id"]] = copy.deepcopy(payload)
+        elif op == "update":
+            self._documents[payload["_id"]] = copy.deepcopy(payload)
+        elif op == "delete":
+            self._documents.pop(payload, None)

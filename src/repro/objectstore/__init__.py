@@ -1,0 +1,20 @@
+"""Object storage substrate: buckets, streaming bandwidth, mount driver."""
+
+from repro.objectstore.mount import BucketMount, MountCache
+from repro.objectstore.service import (
+    Bucket,
+    Credentials,
+    DEFAULT_BANDWIDTH_BPS,
+    ObjectStorageService,
+    StoredObject,
+)
+
+__all__ = [
+    "Bucket",
+    "BucketMount",
+    "Credentials",
+    "DEFAULT_BANDWIDTH_BPS",
+    "MountCache",
+    "ObjectStorageService",
+    "StoredObject",
+]

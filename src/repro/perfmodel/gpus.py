@@ -1,0 +1,62 @@
+"""GPU and server hardware models.
+
+The paper evaluates three PCIe GPU generations (K80, P100, V100) plus
+NVIDIA's DGX-1 appliance (NVLink + High Bandwidth Memory, "2-3x additional
+costs" and higher performance than off-the-shelf PCIe servers).  Relative
+throughput factors are calibrated so the published tables come out of the
+model (see :mod:`repro.perfmodel.throughput`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+K80 = "K80"
+P100 = "P100"
+V100 = "V100"
+
+GPU_TYPES = (K80, P100, V100)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Relative compute capability of one GPU generation."""
+
+    name: str
+    #: Throughput multiplier relative to a K80 for convolutional training.
+    relative_speed: float
+    memory_gb: float
+    release_year: int
+
+
+GPU_SPECS: Dict[str, GpuSpec] = {
+    K80: GpuSpec(K80, relative_speed=1.0, memory_gb=12, release_year=2014),
+    P100: GpuSpec(P100, relative_speed=3.1, memory_gb=16, release_year=2016),
+    V100: GpuSpec(V100, relative_speed=5.0, memory_gb=16, release_year=2017),
+}
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A server platform: interconnect quality scales multi-GPU efficiency."""
+
+    name: str
+    #: Extra per-GPU throughput factor vs the same GPU on a PCIe server
+    #: (NVLink + HBM on DGX-1).
+    platform_speedup: float
+    #: Multi-GPU scaling exponent: throughput(n) = n**exponent per server.
+    scaling_exponent: float
+
+
+PCIE_SERVER = ServerSpec("pcie", platform_speedup=1.0,
+                         scaling_exponent=0.92)
+DGX1_SERVER = ServerSpec("dgx1", platform_speedup=1.10,
+                         scaling_exponent=0.97)
+
+
+def gpu_spec(name: str) -> GpuSpec:
+    try:
+        return GPU_SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown GPU type {name!r}") from None

@@ -1,0 +1,112 @@
+"""Training-throughput model.
+
+Throughput composes four calibrated factors:
+
+    images/s = peak_V100(model)
+               x relative_gpu_speed(gpu) / relative_gpu_speed(V100)
+               x cpu_scaling(threads; model)
+               x platform(server) x multi_gpu_scaling(n; server)
+               x batch_ramp(batch)
+
+Distributed (multi-learner) jobs additionally pay a synchronization
+efficiency per learner over the 1GbE interconnect the paper's testbed used.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.gpus import (
+    DGX1_SERVER,
+    GPU_SPECS,
+    PCIE_SERVER,
+    ServerSpec,
+    V100,
+    gpu_spec,
+)
+from repro.perfmodel.models import ModelSpec
+
+#: Multi-GPU scaling exponents (throughput ~ n**exponent within a server).
+#: PCIe servers lose more to inter-GPU communication than NVLink DGX-1.
+PCIE_SCALING_EXPONENT = 0.87
+DGX1_SCALING_EXPONENT = 0.97
+
+#: Per-learner synchronous-SGD efficiency over 1GbE (parameter exchange).
+DISTRIBUTED_EFFICIENCY = 0.90
+
+
+def cpu_scaling(threads: float, model: ModelSpec) -> float:
+    """Fraction of peak throughput with ``threads`` CPU feeder threads."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    return threads / (threads + model.cpu_half_k)
+
+
+def batch_ramp(batch_size: int) -> float:
+    """Small batches underutilize the GPU; ramps to ~1 by batch ~32."""
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    return batch_size / (batch_size + 2.0)
+
+
+def _scaling_exponent(server: ServerSpec) -> float:
+    return DGX1_SCALING_EXPONENT if server is DGX1_SERVER \
+        else PCIE_SCALING_EXPONENT
+
+
+def images_per_sec(model: ModelSpec, gpu_type: str, cpu_threads: float,
+                   n_gpus: int = 1, batch_size: int = 0,
+                   server: ServerSpec = PCIE_SERVER) -> float:
+    """Single-learner training throughput (images/second)."""
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    batch = batch_size or model.default_batch_size
+    gpu = gpu_spec(gpu_type)
+    base = (model.peak_v100_images_per_s *
+            gpu.relative_speed / GPU_SPECS[V100].relative_speed)
+    platform = model.dgx_speedup if server is DGX1_SERVER else 1.0
+    multi = n_gpus ** _scaling_exponent(server)
+    ramp = batch_ramp(batch) / batch_ramp(model.default_batch_size)
+    return base * cpu_scaling(cpu_threads, model) * platform * multi * ramp
+
+
+def gpu_utilization(model: ModelSpec, cpu_threads: float) -> float:
+    """Estimated GPU utilization fraction at this CPU allocation."""
+    return model.peak_gpu_utilization * cpu_scaling(cpu_threads, model)
+
+
+def distributed_images_per_sec(model: ModelSpec, gpu_type: str,
+                               learners: int, gpus_per_learner: int,
+                               cpu_threads: float, batch_size: int = 0,
+                               server: ServerSpec = PCIE_SERVER) -> float:
+    """Aggregate throughput of a synchronous multi-learner job."""
+    if learners < 1:
+        raise ValueError("learners must be >= 1")
+    single = images_per_sec(model, gpu_type, cpu_threads, gpus_per_learner,
+                            batch_size, server)
+    if learners == 1:
+        return single
+    return single * learners * DISTRIBUTED_EFFICIENCY ** (learners - 1)
+
+
+def iteration_time_s(model: ModelSpec, gpu_type: str, cpu_threads: float,
+                     n_gpus: int = 1, batch_size: int = 0) -> float:
+    """Seconds per training iteration (one batch per GPU group)."""
+    batch = batch_size or model.default_batch_size
+    return batch / images_per_sec(model, gpu_type, cpu_threads, n_gpus,
+                                  batch)
+
+
+def streaming_demand_bps(model: ModelSpec, gpu_type: str,
+                         cpu_threads: float, n_gpus: int = 1,
+                         batch_size: int = 0) -> float:
+    """Bytes/second of training data the job consumes at full speed."""
+    return (images_per_sec(model, gpu_type, cpu_threads, n_gpus, batch_size)
+            * model.sample_bytes)
+
+
+def saturation_threads(model: ModelSpec, target_fraction: float = 0.99,
+                       max_threads: int = 64) -> int:
+    """Fewest threads reaching ``target_fraction`` of peak (Table 5 input)."""
+    for threads in range(1, max_threads + 1):
+        if cpu_scaling(threads, model) >= target_fraction:
+            return threads
+    return max_threads

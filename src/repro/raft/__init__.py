@@ -1,0 +1,35 @@
+"""From-scratch Raft consensus: the replication substrate under etcd."""
+
+from repro.raft.cluster import RaftCluster
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.network import Network
+from repro.raft.node import (
+    CANDIDATE,
+    CallbackStateMachine,
+    FOLLOWER,
+    LEADER,
+    RaftNode,
+    StateMachine,
+)
+
+__all__ = [
+    "AppendEntries",
+    "AppendEntriesReply",
+    "CANDIDATE",
+    "CallbackStateMachine",
+    "StateMachine",
+    "FOLLOWER",
+    "LEADER",
+    "LogEntry",
+    "Network",
+    "RaftCluster",
+    "RaftNode",
+    "RequestVote",
+    "RequestVoteReply",
+]

@@ -1,0 +1,63 @@
+"""Raft RPC message types.
+
+Plain dataclasses exchanged over the simulated :class:`~repro.raft.network.
+Network`.  Field names follow the Raft paper (Ongaro & Ousterhout, 2014).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated log entry: the term it was created in and a command."""
+
+    term: int
+    command: Any
+
+
+@dataclass
+class RequestVote:
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass
+class RequestVoteReply:
+    term: int
+    voter_id: str
+    vote_granted: bool
+
+
+@dataclass
+class AppendEntries:
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: List[LogEntry] = field(default_factory=list)
+    leader_commit: int = 0
+
+
+@dataclass
+class AppendEntriesReply:
+    term: int
+    follower_id: str
+    success: bool
+    #: Index of the last entry the follower now matches (on success), or a
+    #: hint for where the leader should back up to (on failure).
+    match_index: int = 0
+
+
+@dataclass
+class ClientProposal:
+    """Internal: a command awaiting commitment, with its completion event."""
+
+    index: int
+    term: int
+    done: Any = None  # Event, set by the node
+    value: Optional[Any] = None

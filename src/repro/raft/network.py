@@ -1,0 +1,101 @@
+"""Simulated message-passing network for Raft nodes.
+
+Supports per-link latency, message drops, and named partitions, which the
+tests use to drive the protocol through leader failures and healing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+
+Handler = Callable[[str, Any], None]
+
+
+class Network:
+    """Delivers messages between registered endpoints with latency/faults."""
+
+    def __init__(self, env: Environment, rng: RngRegistry,
+                 base_latency_s: float = 0.002,
+                 jitter_s: float = 0.001,
+                 drop_probability: float = 0.0):
+        self.env = env
+        self.rng = rng.stream("raft-network")
+        self.base_latency_s = base_latency_s
+        self.jitter_s = jitter_s
+        self.drop_probability = drop_probability
+        self._handlers: Dict[str, Handler] = {}
+        self._down: Set[str] = set()
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        if node_id in self._handlers:
+            raise SimulationError(f"duplicate endpoint {node_id!r}")
+        self._handlers[node_id] = handler
+
+    # -- fault control -------------------------------------------------------
+
+    def take_down(self, node_id: str) -> None:
+        """Isolate a node: all traffic to/from it is dropped."""
+        self._down.add(node_id)
+
+    def bring_up(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def cut(self, a: str, b: str) -> None:
+        """Cut the bidirectional link between two nodes."""
+        self._cut_links.add((a, b))
+        self._cut_links.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        self._cut_links.discard((a, b))
+        self._cut_links.discard((b, a))
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Cut every link crossing the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.cut(a, b)
+
+    def heal_all(self) -> None:
+        self._cut_links.clear()
+        self._down.clear()
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        return (src not in self._down and dst not in self._down
+                and (src, dst) not in self._cut_links)
+
+    # -- delivery -------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Asynchronously deliver ``message`` from ``src`` to ``dst``."""
+        self.messages_sent += 1
+        if dst not in self._handlers:
+            self.messages_dropped += 1
+            return
+        if not self.is_reachable(src, dst):
+            self.messages_dropped += 1
+            return
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            self.messages_dropped += 1
+            return
+        latency = self.base_latency_s + self.rng.random() * self.jitter_s
+
+        def deliver():
+            yield self.env.timeout(latency)
+            # Re-check reachability at delivery time (partition may have
+            # happened while the message was in flight).
+            if self.is_reachable(src, dst):
+                self._handlers[dst](src, message)
+            else:
+                self.messages_dropped += 1
+
+        self.env.process(deliver(), name=f"net:{src}->{dst}")
+
+    def endpoints(self) -> Set[str]:
+        return set(self._handlers)

@@ -1,0 +1,368 @@
+"""A Raft consensus node running on the simulation kernel.
+
+Implements leader election, log replication and commitment per the Raft
+paper.  Nodes exchange messages over :class:`repro.raft.network.Network`;
+committed commands are applied in log order to a user-supplied ``apply_fn``
+(the etcd key-value store in this repo).
+
+Crash-stop failures are modelled with :meth:`crash` / :meth:`restart`:
+persistent state (term, vote, log) survives; volatile state is rebuilt by
+the protocol, exactly as with an on-disk Raft implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import NotLeaderError
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.network import Network
+from repro.sim.core import Environment, Event
+from repro.sim.rng import RngRegistry
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class StateMachine:
+    """Interface for the replicated state machine driven by a Raft node.
+
+    ``apply`` is called exactly once per committed index, in order.  ``reset``
+    is called when a crashed node restarts: its volatile state machine is
+    discarded and rebuilt by replaying the log from index 1.
+    """
+
+    def apply(self, index: int, command: Any) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class CallbackStateMachine(StateMachine):
+    """Adapter turning plain callables into a :class:`StateMachine`."""
+
+    def __init__(self, apply_fn: Callable[[int, Any], Any],
+                 reset_fn: Optional[Callable[[], None]] = None):
+        self._apply_fn = apply_fn
+        self._reset_fn = reset_fn
+
+    def apply(self, index: int, command: Any) -> Any:
+        return self._apply_fn(index, command)
+
+    def reset(self) -> None:
+        if self._reset_fn is not None:
+            self._reset_fn()
+
+
+class RaftNode:
+    """One member of a Raft group."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngRegistry,
+        network: Network,
+        node_id: str,
+        peer_ids: List[str],
+        state_machine: StateMachine,
+        election_timeout_s: tuple[float, float] = (0.15, 0.30),
+        heartbeat_interval_s: float = 0.05,
+    ):
+        self.env = env
+        self.rng = rng.stream(f"raft:{node_id}")
+        self.network = network
+        self.node_id = node_id
+        self.peer_ids = [p for p in peer_ids if p != node_id]
+        self.state_machine = state_machine
+        self.election_timeout_s = election_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+
+        # Persistent state (survives crash/restart).
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log: List[LogEntry] = []  # log[i] has raft index i+1
+
+        # Volatile state.
+        self.state = FOLLOWER
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_hint: Optional[str] = None
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._votes: set[str] = set()
+        self._crashed = False
+        self._reset_event: Optional[Event] = None
+        self._pending: Dict[int, Event] = {}  # raft index -> proposal event
+        self.apply_results: Dict[int, Any] = {}
+
+        network.register(node_id, self._on_message)
+        self._ticker = env.process(self._run(), name=f"raft:{node_id}")
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.state == LEADER and not self._crashed
+
+    @property
+    def last_log_index(self) -> int:
+        return len(self.log)
+
+    @property
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    def propose(self, command: Any) -> Event:
+        """Append a command (leader only); event fires once it is applied.
+
+        The event's value is whatever ``apply_fn`` returned for the command.
+        It fails with :class:`NotLeaderError` if leadership is lost before
+        commitment.
+        """
+        done = self.env.event()
+        if not self.is_leader:
+            done.fail(NotLeaderError(self.node_id, self.leader_hint))
+            return done
+        self.log.append(LogEntry(self.current_term, command))
+        index = self.last_log_index
+        self._pending[index] = done
+        self.match_index[self.node_id] = index
+        self._broadcast_entries()
+        self._maybe_advance_commit()
+        return done
+
+    def crash(self) -> None:
+        """Crash-stop: drop volatile state and go silent."""
+        self._crashed = True
+        self.network.take_down(self.node_id)
+        self._fail_pending(NotLeaderError(self.node_id))
+        self.state = FOLLOWER
+        self._votes.clear()
+
+    def restart(self) -> None:
+        """Recover with persistent state intact."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.commit_index = 0
+        self.last_applied = 0
+        self.apply_results.clear()
+        self.state_machine.reset()
+        self.leader_hint = None
+        self.network.bring_up(self.node_id)
+        self._become_follower(self.current_term)
+
+    # -- state transitions -----------------------------------------------------
+
+    def _become_follower(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+        if self.state == LEADER:
+            self._fail_pending(NotLeaderError(self.node_id))
+        self.state = FOLLOWER
+        self._votes.clear()
+        self._kick_timer()
+
+    def _become_candidate(self) -> None:
+        self.state = CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_hint = None
+        request = RequestVote(self.current_term, self.node_id,
+                              self.last_log_index, self.last_log_term)
+        for peer in self.peer_ids:
+            self.network.send(self.node_id, peer, request)
+        if self._has_majority(len(self._votes)):  # single-node group
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.state = LEADER
+        self.leader_hint = self.node_id
+        for peer in self.peer_ids:
+            self.next_index[peer] = self.last_log_index + 1
+            self.match_index[peer] = 0
+        self.match_index[self.node_id] = self.last_log_index
+        self._broadcast_entries()
+        self._kick_timer()
+
+    def _has_majority(self, count: int) -> bool:
+        cluster_size = len(self.peer_ids) + 1
+        return count * 2 > cluster_size
+
+    # -- timers ----------------------------------------------------------------
+
+    def _election_timeout(self) -> float:
+        lo, hi = self.election_timeout_s
+        return lo + (hi - lo) * self.rng.random()
+
+    def _kick_timer(self) -> None:
+        if self._reset_event is not None and not self._reset_event.triggered:
+            self._reset_event.succeed()
+
+    def _run(self):
+        while True:
+            if self._crashed:
+                self._reset_event = self.env.event()
+                yield self._reset_event
+                continue
+            if self.state == LEADER:
+                self._broadcast_entries()
+                self._reset_event = self.env.event()
+                yield self.env.any_of([
+                    self.env.timeout(self.heartbeat_interval_s),
+                    self._reset_event,
+                ])
+                continue
+            # Follower / candidate: wait for a heartbeat or start an election.
+            self._reset_event = self.env.event()
+            timer = self.env.timeout(self._election_timeout())
+            yield self.env.any_of([timer, self._reset_event])
+            if self._crashed or self._reset_event.triggered:
+                continue
+            self._become_candidate()
+
+    # -- message handling --------------------------------------------------------
+
+    def _on_message(self, src: str, msg: Any) -> None:
+        if self._crashed:
+            return
+        term = getattr(msg, "term", 0)
+        if term > self.current_term:
+            self._become_follower(term)
+        if isinstance(msg, RequestVote):
+            self._on_request_vote(src, msg)
+        elif isinstance(msg, RequestVoteReply):
+            self._on_vote_reply(msg)
+        elif isinstance(msg, AppendEntries):
+            self._on_append_entries(src, msg)
+        elif isinstance(msg, AppendEntriesReply):
+            self._on_append_reply(msg)
+
+    def _on_request_vote(self, src: str, msg: RequestVote) -> None:
+        grant = False
+        if msg.term >= self.current_term:
+            log_ok = (msg.last_log_term, msg.last_log_index) >= \
+                (self.last_log_term, self.last_log_index)
+            if log_ok and self.voted_for in (None, msg.candidate_id):
+                grant = True
+                self.voted_for = msg.candidate_id
+                self._kick_timer()
+        self.network.send(self.node_id, src,
+                          RequestVoteReply(self.current_term, self.node_id,
+                                           grant))
+
+    def _on_vote_reply(self, msg: RequestVoteReply) -> None:
+        if self.state != CANDIDATE or msg.term != self.current_term:
+            return
+        if msg.vote_granted:
+            self._votes.add(msg.voter_id)
+            if self._has_majority(len(self._votes)):
+                self._become_leader()
+
+    def _on_append_entries(self, src: str, msg: AppendEntries) -> None:
+        if msg.term < self.current_term:
+            self.network.send(self.node_id, src, AppendEntriesReply(
+                self.current_term, self.node_id, False, 0))
+            return
+        # Valid leader for this term.
+        if self.state != FOLLOWER:
+            self._become_follower(msg.term)
+        self.leader_hint = msg.leader_id
+        self._kick_timer()
+        # Consistency check on the previous entry.
+        if msg.prev_log_index > self.last_log_index or (
+                msg.prev_log_index > 0 and
+                self.log[msg.prev_log_index - 1].term != msg.prev_log_term):
+            hint = min(msg.prev_log_index, self.last_log_index)
+            self.network.send(self.node_id, src, AppendEntriesReply(
+                self.current_term, self.node_id, False, hint))
+            return
+        # Append / overwrite entries.
+        insert_at = msg.prev_log_index
+        for i, entry in enumerate(msg.entries):
+            idx = insert_at + i  # zero-based position in self.log
+            if idx < len(self.log):
+                if self.log[idx].term != entry.term:
+                    del self.log[idx:]
+                    self.log.append(entry)
+            else:
+                self.log.append(entry)
+        match = msg.prev_log_index + len(msg.entries)
+        if msg.leader_commit > self.commit_index:
+            self.commit_index = min(msg.leader_commit, self.last_log_index)
+            self._apply_committed()
+        self.network.send(self.node_id, src, AppendEntriesReply(
+            self.current_term, self.node_id, True, match))
+
+    def _on_append_reply(self, msg: AppendEntriesReply) -> None:
+        if self.state != LEADER or msg.term != self.current_term:
+            return
+        peer = msg.follower_id
+        if msg.success:
+            self.match_index[peer] = max(
+                self.match_index.get(peer, 0), msg.match_index)
+            self.next_index[peer] = self.match_index[peer] + 1
+            self._maybe_advance_commit()
+        else:
+            # Back up and retry immediately.
+            self.next_index[peer] = max(1, min(
+                self.next_index.get(peer, 1) - 1,
+                msg.match_index + 1))
+            self._send_entries(peer)
+
+    # -- replication helpers --------------------------------------------------
+
+    def _send_entries(self, peer: str) -> None:
+        next_idx = self.next_index.get(peer, self.last_log_index + 1)
+        prev_idx = next_idx - 1
+        prev_term = self.log[prev_idx - 1].term if prev_idx > 0 else 0
+        entries = self.log[next_idx - 1:]
+        self.network.send(self.node_id, peer, AppendEntries(
+            self.current_term, self.node_id, prev_idx, prev_term,
+            list(entries), self.commit_index))
+
+    def _broadcast_entries(self) -> None:
+        for peer in self.peer_ids:
+            self._send_entries(peer)
+
+    def _maybe_advance_commit(self) -> None:
+        for idx in range(self.last_log_index, self.commit_index, -1):
+            if self.log[idx - 1].term != self.current_term:
+                continue  # only commit entries from the current term directly
+            votes = sum(1 for p in [self.node_id] + self.peer_ids
+                        if self.match_index.get(p, 0) >= idx)
+            if self._has_majority(votes):
+                self.commit_index = idx
+                self._apply_committed()
+                break
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log[self.last_applied - 1]
+            result = self.state_machine.apply(self.last_applied,
+                                              entry.command)
+            self.apply_results[self.last_applied] = result
+            pending = self._pending.pop(self.last_applied, None)
+            if pending is not None and not pending.triggered:
+                if entry.term == self.current_term and self.state == LEADER:
+                    pending.succeed(result)
+                else:
+                    pending.fail(NotLeaderError(self.node_id,
+                                                self.leader_hint))
+
+    def _fail_pending(self, error: Exception) -> None:
+        for event in self._pending.values():
+            if not event.triggered:
+                event.fail(error)
+        self._pending.clear()

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel used by every substrate in the repo."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.failure import FaultEvent, FaultInjector, FaultSpec
+from repro.sim.resources import FairShareLink, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "FairShareLink",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,316 @@
+"""Discrete-event simulation kernel.
+
+All substrates (Raft, etcd, Kubernetes, object storage) and the FfDL control
+plane run as cooperating processes on this kernel, so month-long cluster
+experiments replay deterministically in seconds of wall-clock time.
+
+The API is deliberately close to SimPy's: an :class:`Environment` owns a
+priority queue of events; a :class:`Process` wraps a generator that yields
+events (:class:`Timeout`, other processes, :class:`AnyOf`, ...) and is resumed
+when they fire.  Processes can be interrupted, which is how crash injection
+is modelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Sentinel priority classes: urgent events (process resumption) fire before
+#: normal events scheduled at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks (usually processes) wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_scheduled", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule_event(self, URGENT, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiters will see the exception raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule_event(self, URGENT, 0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule_event(self, NORMAL, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev._processed:
+                self._on_fire(ev)
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _on_fire(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_fired += 1
+        if self._done():
+            self.succeed(self._collect())
+
+    def _done(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return self._n_fired >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event firing at termination."""
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str = "process"):
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # Detach from whatever it was waiting on and resume immediately.
+        wake = Event(self.env)
+        wake.callbacks.append(self._resume)
+        wake.succeed()
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if self._target is not None and event is not self._target \
+                and not self._interrupts:
+            # Stale wakeup (e.g. the event we abandoned on interrupt fires).
+            return
+        self.env._active_process = self
+        try:
+            while True:
+                if self._interrupts:
+                    exc: BaseException = self._interrupts.pop(0)
+                    self._target = None
+                    target = self.generator.throw(exc)
+                elif event is not None and not event.ok:
+                    err = event.value
+                    event = None
+                    self._target = None
+                    target = self.generator.throw(err)
+                else:
+                    value = event.value if event is not None else None
+                    event = None
+                    self._target = None
+                    target = self.generator.send(value)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                if target._processed:
+                    # Callbacks already ran: loop immediately with its value.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except Interrupt as intr:
+            # Interrupt escaped the generator: treat as normal termination.
+            self.succeed(intr.cause)
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            if self.callbacks or True:
+                self.fail(err)
+        finally:
+            self.env._active_process = None
+
+
+class Environment:
+    """The event queue and simulated clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule_event(self, event: Event, priority: int, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._counter), event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "process") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("time went backwards")
+        self._now = max(self._now, when)
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_complete(self, process: Process,
+                           limit: float = 10**12) -> Any:
+        """Run until ``process`` terminates; return its value or raise."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} cannot complete")
+            if self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"process {process.name!r} did not finish by t={limit}")
+            self.step()
+        # Drain the urgent callbacks of the completion event itself.
+        if not process.ok:
+            raise process.value
+        return process.value

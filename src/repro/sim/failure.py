@@ -1,0 +1,126 @@
+"""Fault injection for the simulated cluster.
+
+The paper's failure analysis (Section 5.6) is driven by real node failures
+over months of operation; we reproduce the same distributions by injecting
+faults from configurable stochastic processes.  A :class:`FaultInjector`
+schedules :class:`FaultSpec` occurrences against named targets and invokes a
+callback so the substrate (kubelet, node controller, FfDL component) can
+react exactly as it would to an organic failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class FaultSpec:
+    """One recurring fault source.
+
+    ``kind`` is a free-form label (``node-crash``, ``gpu-fault``, ...);
+    ``mtbf_s`` is the mean time between faults (exponential inter-arrivals);
+    ``duration_s`` is the mean outage duration (0 for instantaneous faults
+    such as a container crash).
+    """
+
+    kind: str
+    mtbf_s: float
+    duration_s: float = 0.0
+    jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+
+
+@dataclass
+class FaultEvent:
+    """A recorded occurrence of a fault."""
+
+    time: float
+    kind: str
+    target: str
+    duration_s: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Drives fault processes and keeps an audit log of every occurrence."""
+
+    def __init__(self, env: Environment, rng: RngRegistry):
+        self.env = env
+        self.rng = rng
+        self.log: List[FaultEvent] = []
+        self._stopped = False
+
+    def record(self, kind: str, target: str, duration_s: float = 0.0,
+               **detail) -> FaultEvent:
+        """Record a fault that some other component decided to inject."""
+        event = FaultEvent(self.env.now, kind, target, duration_s, detail)
+        self.log.append(event)
+        return event
+
+    def inject_recurring(
+        self,
+        spec: FaultSpec,
+        target: str,
+        on_fault: Callable[[FaultEvent], None],
+        on_recover: Optional[Callable[[FaultEvent], None]] = None,
+    ) -> None:
+        """Start a process firing ``spec`` faults against ``target`` forever."""
+        self.env.process(
+            self._recurring(spec, target, on_fault, on_recover),
+            name=f"fault:{spec.kind}:{target}")
+
+    def inject_once(self, kind: str, target: str, delay_s: float,
+                    on_fault: Callable[[FaultEvent], None],
+                    duration_s: float = 0.0,
+                    on_recover: Optional[Callable[[FaultEvent], None]] = None,
+                    ) -> None:
+        """Schedule a single fault ``delay_s`` from now."""
+
+        def one_shot():
+            yield self.env.timeout(delay_s)
+            event = self.record(kind, target, duration_s)
+            on_fault(event)
+            if duration_s > 0:
+                yield self.env.timeout(duration_s)
+            if on_recover is not None:
+                on_recover(event)
+
+        self.env.process(one_shot(), name=f"fault-once:{kind}:{target}")
+
+    def stop(self) -> None:
+        """Stop scheduling new recurring faults (existing outages finish)."""
+        self._stopped = True
+
+    def events_of_kind(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.log if e.kind == kind]
+
+    # -- internals ----------------------------------------------------------
+
+    def _recurring(self, spec: FaultSpec, target: str,
+                   on_fault: Callable[[FaultEvent], None],
+                   on_recover: Optional[Callable[[FaultEvent], None]]):
+        stream = self.rng.stream(f"fault:{spec.kind}:{target}")
+        while not self._stopped:
+            wait = stream.expovariate(1.0 / spec.mtbf_s)
+            yield self.env.timeout(wait)
+            if self._stopped:
+                return
+            duration = 0.0
+            if spec.duration_s > 0:
+                duration = stream.expovariate(1.0 / spec.duration_s) \
+                    if spec.jitter else spec.duration_s
+            event = self.record(spec.kind, target, duration)
+            on_fault(event)
+            if duration > 0:
+                yield self.env.timeout(duration)
+            if on_recover is not None:
+                on_recover(event)

@@ -1,0 +1,129 @@
+"""Synthetic gang workloads for the Figure 4 experiments.
+
+Section 5.3: "a synthetic workload with a cluster of 15 machines, with 4
+K80 GPUs each ... three workloads, of 50 synchronous DL training jobs
+each: (i) jobs with 2 learners, 1 GPU/learner, (ii) jobs with 2 learners,
+2 GPUs/learner and (iii) jobs with 4 learners, 1 GPU/learner.  These jobs
+are submitted concurrently."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.kube.cluster import Cluster
+from repro.kube.objects import (
+    ContainerSpec,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+)
+from repro.kube.resources import NodeCapacity, ResourceRequest
+from repro.kube.scheduling.framework import SchedulerConfig
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+
+#: Figure 4's three workloads: (learners, gpus_per_learner).
+GANG_WORKLOADS: Tuple[Tuple[int, int], ...] = ((2, 1), (2, 2), (4, 1))
+JOBS_PER_WORKLOAD = 50
+CLUSTER_MACHINES = 15
+GPUS_PER_MACHINE = 4
+
+
+@dataclass
+class GangRunResult:
+    """Outcome of one synthetic run."""
+
+    deadlocked_learners: int
+    idle_gpus: int
+    idle_gpu_percent: float
+    fully_scheduled_jobs: int
+    fully_queued_jobs: int
+
+
+def build_cluster(env: Environment, rng: RngRegistry, gang: bool,
+                  machines: int = CLUSTER_MACHINES,
+                  gpus_per_machine: int = GPUS_PER_MACHINE) -> Cluster:
+    config = SchedulerConfig(policy="pack", gang=gang)
+    cluster = Cluster(env, rng, config)
+    from repro.docker import Image
+    cluster.push_image(Image("learner", size_bytes=1e6))
+    cluster.add_nodes(machines, NodeCapacity(
+        cpus=64, memory_gb=512, gpus=gpus_per_machine, gpu_type="K80"))
+    return cluster
+
+
+def submit_gang_jobs(env: Environment, cluster: Cluster, learners: int,
+                     gpus_per_learner: int,
+                     jobs: int = JOBS_PER_WORKLOAD,
+                     duration_s: float = 100_000.0) -> Dict[str, List[Pod]]:
+    """Submit ``jobs`` synchronous DL jobs concurrently; returns the pods
+    grouped by job."""
+
+    def sleeper(container):
+        yield env.timeout(duration_s)
+        return 0
+
+    by_job: Dict[str, List[Pod]] = {}
+    for j in range(jobs):
+        gang_name = f"syn-{learners}x{gpus_per_learner}-{j}"
+        pods = []
+        for i in range(learners):
+            pod = Pod(
+                meta=ObjectMeta(name=f"{gang_name}-{i}",
+                                labels={"type": "learner",
+                                        "job": gang_name}),
+                spec=PodSpec(
+                    containers=[ContainerSpec("learner", "learner:latest",
+                                              sleeper)],
+                    resources=ResourceRequest(
+                        cpus=4.0 * gpus_per_learner, memory_gb=24,
+                        gpus=gpus_per_learner, gpu_type="K80"),
+                    gang_name=gang_name, gang_size=learners))
+            pods.append(pod)
+            cluster.api.create_pod(pod)
+        by_job[gang_name] = pods
+    return by_job
+
+
+def measure_run(cluster: Cluster,
+                by_job: Dict[str, List[Pod]]) -> GangRunResult:
+    """Count temporarily deadlocked learners and idle (hoarded) GPUs.
+
+    A learner is *temporarily deadlocked* when it is Running (holding its
+    GPUs) while at least one sibling of its synchronous job is still
+    Pending — it cannot make progress until the whole gang runs.
+    """
+    deadlocked = 0
+    idle_gpus = 0
+    fully_scheduled = 0
+    fully_queued = 0
+    for _name, pods in by_job.items():
+        running = [p for p in pods if p.phase == "Running"]
+        pending = [p for p in pods if p.phase == "Pending"]
+        if running and pending:
+            deadlocked += len(running)
+            idle_gpus += sum(p.spec.resources.gpus for p in running)
+        elif running and not pending:
+            fully_scheduled += 1
+        elif pending and not running:
+            fully_queued += 1
+    total_gpus = cluster.total_gpus()
+    return GangRunResult(
+        deadlocked_learners=deadlocked,
+        idle_gpus=idle_gpus,
+        idle_gpu_percent=100.0 * idle_gpus / total_gpus,
+        fully_scheduled_jobs=fully_scheduled,
+        fully_queued_jobs=fully_queued)
+
+
+def run_gang_experiment(learners: int, gpus_per_learner: int, gang: bool,
+                        seed: int,
+                        settle_s: float = 120.0) -> GangRunResult:
+    """One run of the Figure 4 experiment."""
+    env = Environment()
+    cluster = build_cluster(env, RngRegistry(seed), gang=gang)
+    by_job = submit_gang_jobs(env, cluster, learners, gpus_per_learner)
+    env.run(until=settle_s)
+    return measure_run(cluster, by_job)

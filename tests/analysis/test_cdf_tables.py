@@ -1,0 +1,69 @@
+"""Tests for CDF helpers and table formatting."""
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    cdf_at,
+    empirical_cdf,
+    format_table,
+    probability_of_zero,
+    quantile,
+)
+
+
+def test_empirical_cdf_simple():
+    cdf = empirical_cdf([1, 2, 2, 4])
+    assert cdf == [(1, 0.25), (2, 0.75), (4, 1.0)]
+
+
+def test_empirical_cdf_empty():
+    assert empirical_cdf([]) == []
+
+
+def test_cdf_at_interpolates_stepwise():
+    cdf = empirical_cdf([1, 2, 2, 4])
+    assert cdf_at(cdf, 0) == 0.0
+    assert cdf_at(cdf, 1) == 0.25
+    assert cdf_at(cdf, 3) == 0.75
+    assert cdf_at(cdf, 10) == 1.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+def test_cdf_monotone_and_ends_at_one(samples):
+    cdf = empirical_cdf(samples)
+    probs = [p for _v, p in cdf]
+    assert probs == sorted(probs)
+    assert probs[-1] == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1),
+       st.floats(min_value=0, max_value=1))
+def test_quantile_within_range(samples, q):
+    value = quantile(samples, q)
+    assert min(samples) <= value <= max(samples)
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        quantile([], 0.5)
+    with pytest.raises(ValueError):
+        quantile([1], 1.5)
+
+
+def test_probability_of_zero():
+    assert probability_of_zero([0, 0, 1, 2]) == 0.5
+    assert probability_of_zero([]) == 0.0
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["name", "value"],
+                        [["a", 1.5], ["longer-name", 22]],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # All data lines aligned to the same width.
+    assert len(lines[3]) == len(lines[4])

@@ -1,0 +1,50 @@
+"""Tests for the programmatic report builder."""
+
+import pytest
+
+from repro.analysis.report import (
+    build_report,
+    fig3_section,
+    fig4_section,
+    quick_report,
+    table2_section,
+    table4_section,
+    table5_section,
+    table6_section,
+)
+
+
+def test_each_section_well_formed():
+    for section in (table2_section, table4_section, table5_section,
+                    table6_section):
+        title, headers, rows = section()
+        assert title
+        assert rows
+        assert all(len(row) == len(headers) for row in rows)
+
+
+def test_fig4_section_small():
+    title, headers, rows = fig4_section(repeats=3)
+    assert len(rows) == 6  # 3 workloads x 2 schedulers
+    gang_rows = [r for r in rows if r[1] == "gang"]
+    assert all(r[2] == "0-0" for r in gang_rows)
+
+
+def test_fig3_section_small():
+    title, headers, rows = fig3_section(days=3)
+    by_policy = {row[0]: row[1] for row in rows}
+    assert set(by_policy) == {"spread", "pack"}
+    assert by_policy["pack"] <= by_policy["spread"]
+
+
+def test_quick_report_renders_markdown():
+    report = quick_report()
+    assert report.startswith("# FfDL reproduction report")
+    assert "## Table 5" in report
+    assert "## Figure 4" in report
+
+
+def test_build_report_custom_subset():
+    report = build_report([table5_section])
+    assert "Table 5" in report
+    assert "Figure 4" not in report

@@ -1,0 +1,44 @@
+"""Shared fixtures for FfDL core tests."""
+
+import pytest
+
+from repro.core import FfDLPlatform, JobManifest, PlatformConfig
+from repro.sim import Environment, RngRegistry
+
+
+def make_platform(seed=0, nodes=4, gpus_per_node=4, gpu_type="K80",
+                  config=None, quota=64):
+    env = Environment()
+    platform = FfDLPlatform(env, RngRegistry(seed), config)
+    platform.add_gpu_nodes(nodes, gpus_per_node=gpus_per_node,
+                           gpu_type=gpu_type)
+    platform.admission.register("alice", gpu_quota=quota)
+    platform.admission.register("bob", gpu_quota=quota)
+    return env, platform
+
+
+def make_manifest(name="job", user="alice", learners=1, gpus=1,
+                  gpu_type="K80", iterations=200, ckpt=0, **kwargs):
+    # A dataset large enough that the DOWNLOADING phase outlasts the
+    # helper controller's poll interval (so the status is observable),
+    # in a per-job bucket so the shared mount cache of another job does
+    # not make the download instant.
+    kwargs.setdefault("dataset_object_bytes", 256e6)
+    kwargs.setdefault("data_bucket", f"data-{name}")
+    return JobManifest(
+        name=name, user=user, framework="tensorflow", model="resnet50",
+        learners=learners, gpus_per_learner=gpus, gpu_type=gpu_type,
+        iterations=iterations, checkpoint_interval_iterations=ckpt,
+        **kwargs)
+
+
+def submit(env, platform, manifest):
+    return env.run_until_complete(platform.submit_job(manifest),
+                                  limit=env.now + 1e5)
+
+
+def run_to_terminal(env, platform, job_id, limit=1e7):
+    status = env.run_until_complete(platform.wait_for_terminal(job_id),
+                                    limit=limit)
+    env.run(until=env.now + 10)  # let persistence/GC settle
+    return status

@@ -1,0 +1,120 @@
+"""Tests for admission control and preemption policy (Section 3.6)."""
+
+import pytest
+
+from repro.core import AdmissionController, FREE_TIER, statuses as st
+from repro.core.job import TrainingJob
+from repro.errors import QuotaExceededError
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def make_job(name="j1", user="alice", learners=1, gpus=2):
+    manifest = make_manifest(name=name, user=user, learners=learners,
+                             gpus=gpus)
+    return TrainingJob(f"id-{name}", manifest, 0.0)
+
+
+def test_within_quota_admitted():
+    ac = AdmissionController()
+    ac.register("alice", gpu_quota=8)
+    decision = ac.admit(make_job(gpus=4))
+    assert decision.admitted and not decision.over_quota
+
+
+def test_over_quota_opportunistic_flagged():
+    ac = AdmissionController()
+    ac.register("alice", gpu_quota=2)
+    decision = ac.admit(make_job(gpus=4))
+    assert decision.admitted and decision.over_quota
+
+
+def test_over_quota_rejected_when_strict():
+    ac = AdmissionController(allow_opportunistic=False)
+    ac.register("alice", gpu_quota=2)
+    decision = ac.admit(make_job(gpus=4))
+    assert not decision.admitted
+    assert ac.rejections == 1
+
+
+def test_usage_accumulates_and_releases():
+    ac = AdmissionController()
+    ac.register("alice", gpu_quota=8)
+    job = make_job(gpus=4)
+    ac.admit(job)
+    assert ac.usage("alice") == 4
+    ac.release(job.job_id)
+    assert ac.usage("alice") == 0
+
+
+def test_unknown_tenant_rejected():
+    ac = AdmissionController()
+    with pytest.raises(QuotaExceededError):
+        ac.admit(make_job(user="ghost"))
+
+
+def test_quota_preemption_victims_are_over_quota_jobs():
+    ac = AdmissionController()
+    ac.register("alice", gpu_quota=2)
+    ac.register("bob", gpu_quota=8)
+    over = make_job(name="over", user="alice", gpus=4)  # over quota
+    within = make_job(name="ok", user="alice", gpus=0)
+    within.manifest.gpus_per_learner = 0
+    ac.admit(over)
+    victims = ac.preemption_victims_for_quota("bob", gpus_needed=4)
+    assert victims == [over.job_id]
+
+
+def test_quota_preemption_insufficient_returns_empty():
+    ac = AdmissionController()
+    ac.register("alice", gpu_quota=100)
+    ac.register("bob", gpu_quota=8)
+    ac.admit(make_job(user="alice", gpus=4))  # within quota: not a victim
+    assert ac.preemption_victims_for_quota("bob", gpus_needed=4) == []
+
+
+def test_load_preemption_targets_free_tier():
+    ac = AdmissionController()
+    ac.register("free-rider", gpu_quota=8, tier=FREE_TIER)
+    ac.register("payer", gpu_quota=8)
+    free_job = make_job(name="f", user="free-rider", gpus=2)
+    paid_job = make_job(name="p", user="payer", gpus=2)
+    ac.admit(free_job)
+    ac.admit(paid_job)
+    assert ac.preemption_victims_for_load() == [free_job.job_id]
+
+
+def test_platform_rejects_job_when_strict_and_over_quota():
+    env, platform = make_platform()
+    platform.admission.allow_opportunistic = False
+    platform.admission.register("smalluser", gpu_quota=1)
+    manifest = make_manifest(user="smalluser", learners=2, gpus=2)
+    with pytest.raises(QuotaExceededError):
+        submit(env, platform, manifest)
+
+
+def test_platform_end_to_end_quota_preemption():
+    """User B reclaims their quota: A's over-quota job is preempted."""
+    env, platform = make_platform(nodes=1, gpus_per_node=4)
+    platform.admission.register("a", gpu_quota=0)  # any job is over quota
+    platform.admission.register("b", gpu_quota=4)
+    a_job = submit(env, platform,
+                   make_manifest(name="a1", user="a", learners=1, gpus=4,
+                                 iterations=50_000, ckpt=1000))
+    env.run(until=env.now + 120)
+    victims = platform.admission.preemption_victims_for_quota(
+        "b", gpus_needed=4)
+    assert victims == [a_job]
+    for victim in victims:
+        platform.preempt_job(victim, reason="quota reclaim by b")
+    env.run(until=env.now + 30)
+    assert platform.cluster.allocated_gpus() == 0
+    b_job = submit(env, platform,
+                   make_manifest(name="b1", user="b", learners=1, gpus=4,
+                                 iterations=200))
+    assert run_to_terminal(env, platform, b_job, limit=1e6) == st.COMPLETED

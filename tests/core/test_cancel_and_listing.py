@@ -1,0 +1,83 @@
+"""Tests for user-driven cancel and job listing."""
+
+import pytest
+
+from repro.core import statuses as st
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def test_cancel_running_job_releases_resources():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest(iterations=50_000,
+                                                 ckpt=1000))
+    job = platform.job(job_id)
+    while job.status.current != st.PROCESSING and env.now < 2000:
+        env.run(until=env.now + 5)
+    env.run_until_complete(platform.cancel_job(job_id),
+                           limit=env.now + 100)
+    env.run(until=env.now + 60)
+    assert job.status.current == st.HALTED
+    assert platform.cluster.allocated_gpus() == 0
+    assert platform.learner_pods(job_id) == []
+
+
+def test_cancel_queued_job():
+    env, platform = make_platform(nodes=1, gpus_per_node=4)
+    blocker = submit(env, platform,
+                     make_manifest(name="blocker", learners=1, gpus=4,
+                                   iterations=50_000))
+    env.run(until=env.now + 60)
+    queued = submit(env, platform,
+                    make_manifest(name="queued", learners=1, gpus=4,
+                                  iterations=100))
+    env.run(until=env.now + 30)
+    env.run_until_complete(platform.cancel_job(queued),
+                           limit=env.now + 100)
+    env.run(until=env.now + 60)
+    assert platform.job(queued).status.current == st.HALTED
+    # The blocker is untouched.
+    assert platform.job(blocker).status.current == st.PROCESSING
+
+
+def test_cancelled_job_can_resume():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest(iterations=2500,
+                                                 ckpt=500))
+    job = platform.job(job_id)
+    while job.learner_states[0].iterations_done < 600 and env.now < 5000:
+        env.run(until=env.now + 10)
+    env.run_until_complete(platform.cancel_job(job_id),
+                           limit=env.now + 100)
+    env.run(until=env.now + 30)
+    env.run_until_complete(platform.resume_job(job_id),
+                           limit=env.now + 100)
+    assert run_to_terminal(env, platform, job_id, limit=1e7) == \
+        st.COMPLETED
+
+
+def test_cancel_terminal_job_is_noop():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest(iterations=100))
+    run_to_terminal(env, platform, job_id)
+    status = env.run_until_complete(platform.cancel_job(job_id),
+                                    limit=env.now + 100)
+    assert status == st.COMPLETED
+
+
+def test_list_jobs_filters_by_user():
+    env, platform = make_platform()
+    a = submit(env, platform, make_manifest(name="a", user="alice",
+                                            iterations=100))
+    env.run(until=env.now + 5)
+    b = submit(env, platform, make_manifest(name="b", user="bob",
+                                            iterations=100))
+    all_jobs = platform.list_jobs()
+    assert [j.job_id for j in all_jobs] == [a, b]  # submission order
+    alice_jobs = platform.list_jobs(user="alice")
+    assert [j.job_id for j in alice_jobs] == [a]

@@ -1,0 +1,89 @@
+"""Unit tests for the Guardian's status aggregation logic."""
+
+import pytest
+
+from repro.core import statuses as st
+from repro.core.guardian import _aggregate
+from repro.core.helper import learner_exit_key, learner_status_key
+
+from tests.core.conftest import make_manifest, make_platform
+from repro.core.job import TrainingJob
+
+
+def setup(learners=2):
+    env, platform = make_platform()
+    manifest = make_manifest(learners=learners)
+    job = TrainingJob("job-agg", manifest, 0.0)
+    return platform, job
+
+
+def put_status(platform, job, index, status):
+    platform.etcd_store().put(learner_status_key(job.job_id, index),
+                              status)
+
+
+def put_exit(platform, job, index, code):
+    platform.etcd_store().put(learner_exit_key(job.job_id, index), code)
+
+
+def test_no_keys_yields_none():
+    platform, job = setup()
+    assert _aggregate(platform, job) is None
+
+
+def test_partial_statuses_report_downloading():
+    platform, job = setup(learners=2)
+    put_status(platform, job, 0, st.PROCESSING)
+    # Learner 1 has not reported yet: the job is only as far along as its
+    # slowest member.
+    assert _aggregate(platform, job) == st.DOWNLOADING
+
+
+def test_slowest_learner_wins():
+    platform, job = setup(learners=2)
+    put_status(platform, job, 0, st.STORING)
+    put_status(platform, job, 1, st.PROCESSING)
+    assert _aggregate(platform, job) == st.PROCESSING
+
+
+def test_all_processing():
+    platform, job = setup(learners=2)
+    for i in range(2):
+        put_status(platform, job, i, st.PROCESSING)
+    assert _aggregate(platform, job) == st.PROCESSING
+
+
+def test_any_nonzero_exit_fails_job():
+    platform, job = setup(learners=2)
+    put_status(platform, job, 0, st.PROCESSING)
+    put_exit(platform, job, 1, "1")
+    assert _aggregate(platform, job) == st.FAILED
+
+
+def test_all_zero_exits_complete_job():
+    platform, job = setup(learners=2)
+    for i in range(2):
+        put_exit(platform, job, i, "0")
+    assert _aggregate(platform, job) == st.COMPLETED
+
+
+def test_partial_exits_not_terminal():
+    platform, job = setup(learners=2)
+    put_status(platform, job, 0, st.STORING)
+    put_status(platform, job, 1, st.STORING)
+    put_exit(platform, job, 0, "0")
+    assert _aggregate(platform, job) == st.STORING
+
+
+def test_halted_learners_aggregate_to_halted():
+    platform, job = setup(learners=2)
+    put_exit(platform, job, 0, "halted")
+    put_exit(platform, job, 1, "halted")
+    assert _aggregate(platform, job) == st.HALTED
+
+
+def test_mixed_halted_and_completed_is_halted():
+    platform, job = setup(learners=2)
+    put_exit(platform, job, 0, "0")
+    put_exit(platform, job, 1, "halted")
+    assert _aggregate(platform, job) == st.HALTED

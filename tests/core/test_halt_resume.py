@@ -1,0 +1,100 @@
+"""Tests for user-driven HALT / RESUME (hyperparameter-tuning workflow)."""
+
+import pytest
+
+from repro.core import statuses as st
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def start_processing(env, platform, iterations=5000, ckpt=500):
+    job_id = submit(env, platform,
+                    make_manifest(iterations=iterations, ckpt=ckpt))
+    job = platform.job(job_id)
+    while job.status.current != st.PROCESSING and env.now < 2000:
+        env.run(until=env.now + 5)
+    assert job.status.current == st.PROCESSING
+    return job_id, job
+
+
+def test_halt_stops_job_with_halted_status():
+    env, platform = make_platform()
+    job_id, job = start_processing(env, platform)
+    env.run_until_complete(platform.halt_job(job_id), limit=env.now + 100)
+    status = run_to_terminal(env, platform, job_id, limit=1e6)
+    assert status == st.HALTED
+    assert job.learner_states[0].halted
+
+
+def test_halt_releases_cluster_resources():
+    env, platform = make_platform()
+    job_id, _job = start_processing(env, platform)
+    env.run_until_complete(platform.halt_job(job_id), limit=env.now + 100)
+    run_to_terminal(env, platform, job_id, limit=1e6)
+    env.run(until=env.now + 30)
+    assert platform.cluster.allocated_gpus() == 0
+    assert platform.learner_pods(job_id) == []
+
+
+def test_halt_checkpoints_progress():
+    env, platform = make_platform()
+    job_id, job = start_processing(env, platform)
+    while job.learner_states[0].iterations_done < 600:
+        env.run(until=env.now + 10)
+    env.run_until_complete(platform.halt_job(job_id), limit=env.now + 100)
+    run_to_terminal(env, platform, job_id, limit=1e6)
+    assert job.learner_states[0].checkpoints_written >= 1
+
+
+def test_resume_continues_from_checkpoint():
+    env, platform = make_platform()
+    job_id, job = start_processing(env, platform, iterations=3000,
+                                   ckpt=500)
+    while job.learner_states[0].iterations_done < 800:
+        env.run(until=env.now + 10)
+    env.run_until_complete(platform.halt_job(job_id), limit=env.now + 100)
+    run_to_terminal(env, platform, job_id, limit=1e6)
+    halted_progress = job.learner_states[0].iterations_done
+    assert halted_progress >= 800
+    env.run_until_complete(platform.resume_job(job_id),
+                           limit=env.now + 100)
+    status = run_to_terminal(env, platform, job_id, limit=1e7)
+    assert status == st.COMPLETED
+    state = job.learner_states[0]
+    assert state.checkpoints_loaded >= 1
+    assert state.iterations_done == 3000
+    # Status history shows the full cycle.
+    names = [s for s, _t in job.status.timeline()]
+    assert st.HALTED in names
+    assert st.RESUMED in names
+
+
+def test_resume_of_non_halted_job_rejected():
+    from repro.errors import JobNotFoundError
+    env, platform = make_platform()
+    job_id, _job = start_processing(env, platform)
+    with pytest.raises(JobNotFoundError):
+        env.run_until_complete(platform.resume_job(job_id),
+                               limit=env.now + 100)
+
+
+def test_preemption_halts_and_resume_recovers():
+    env, platform = make_platform()
+    job_id, job = start_processing(env, platform, iterations=2000,
+                                   ckpt=500)
+    while job.learner_states[0].iterations_done < 600:
+        env.run(until=env.now + 10)
+    platform.preempt_job(job_id, reason="free user under heavy load")
+    env.run(until=env.now + 30)
+    assert job.status.current == st.HALTED
+    assert job.preempted
+    assert platform.cluster.allocated_gpus() == 0
+    env.run_until_complete(platform.resume_job(job_id),
+                           limit=env.now + 100)
+    status = run_to_terminal(env, platform, job_id, limit=1e7)
+    assert status == st.COMPLETED

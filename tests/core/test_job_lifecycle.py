@@ -1,0 +1,175 @@
+"""Integration tests: the full FfDL job pipeline."""
+
+import pytest
+
+from repro.core import statuses as st
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def test_single_learner_job_completes():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest(iterations=200))
+    status = run_to_terminal(env, platform, job_id)
+    assert status == st.COMPLETED
+    job = platform.job(job_id)
+    assert job.learner_states[0].iterations_done == 200
+
+
+def test_status_pipeline_order_and_timestamps():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest())
+    run_to_terminal(env, platform, job_id)
+    job = platform.job(job_id)
+    timeline = job.status.timeline()
+    names = [s for s, _t in timeline]
+    assert names[0] == st.QUEUED
+    assert names[1] == st.DEPLOYING
+    assert st.DOWNLOADING in names
+    assert st.PROCESSING in names
+    assert names[-1] == st.COMPLETED
+    times = [t for _s, t in timeline]
+    assert times == sorted(times)
+
+
+def test_metadata_durable_in_mongo_before_ack():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest())
+    # Immediately after the submit event resolves, MongoDB has the record.
+    doc = platform.mongo.collection("jobs").find_one({"_id": job_id})
+    assert doc is not None
+    assert doc["status"] == st.QUEUED
+
+
+def test_mongo_status_reaches_completed():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest())
+    run_to_terminal(env, platform, job_id)
+    doc = platform.mongo.collection("jobs").find_one({"_id": job_id})
+    assert doc["status"] == st.COMPLETED
+    statuses = [h["status"] for h in doc["status_history"]]
+    assert statuses[0] == st.QUEUED
+    assert statuses[-1] == st.COMPLETED
+
+
+def test_distributed_job_completes():
+    env, platform = make_platform()
+    job_id = submit(env, platform,
+                    make_manifest(learners=4, gpus=2, iterations=300))
+    status = run_to_terminal(env, platform, job_id)
+    assert status == st.COMPLETED
+    job = platform.job(job_id)
+    assert all(s.iterations_done == 300 for s in job.learner_states)
+
+
+def test_garbage_collection_after_completion():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest(learners=2))
+    run_to_terminal(env, platform, job_id)
+    env.run(until=env.now + 30)
+    api = platform.cluster.api
+    job = platform.job(job_id)
+    assert not api.exists("statefulsets", job.statefulset_name)
+    assert not api.exists("deployments", job.helper_name)
+    assert not api.exists("networkpolicies", job.netpol_name)
+    assert not api.exists("pvcs", job.pvc_name)
+    assert platform.learner_pods(job_id) == []
+    # etcd job keys cleaned up.
+    assert platform.etcd_store().range(f"/jobs/{job_id}/") == []
+    # All GPUs back.
+    assert platform.cluster.allocated_gpus() == 0
+
+
+def test_results_stored_in_bucket():
+    env, platform = make_platform()
+    manifest = make_manifest(learners=2)
+    job_id = submit(env, platform, manifest)
+    run_to_terminal(env, platform, job_id)
+    results = platform.oss.bucket(manifest.result_bucket)
+    models = results.list(f"models/{job_id}/")
+    assert len(models) == 2
+
+
+def test_training_logs_streamed_to_index():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest())
+    run_to_terminal(env, platform, job_id)
+    logs = platform.stream_logs(job_id)
+    assert logs
+    lines = [entry.line for entry in logs]
+    assert any(st.PROCESSING in line for line in lines)
+
+
+def test_network_policy_isolates_jobs():
+    env, platform = make_platform()
+    id_a = submit(env, platform, make_manifest(name="a", iterations=5000))
+    id_b = submit(env, platform, make_manifest(name="b", user="bob",
+                                               iterations=5000))
+    env.run(until=env.now + 60)
+    policies = platform.cluster.api.list_network_policies()
+    assert len(policies) == 2
+    pods_a = platform.learner_pods(id_a)
+    pods_b = platform.learner_pods(id_b)
+    assert pods_a and pods_b
+    policy_a = next(p for p in policies
+                    if p.pod_selector == {"job": id_a})
+    # Same job may talk; the other job's learner may not.
+    assert policy_a.allows(pods_a[0], pods_a[0])
+    assert not policy_a.allows(pods_b[0], pods_a[0])
+
+
+def test_job_queues_until_gpus_free():
+    env, platform = make_platform(nodes=1, gpus_per_node=4)
+    first = submit(env, platform,
+                   make_manifest(name="first", learners=1, gpus=4,
+                                 iterations=400))
+    env.run(until=env.now + 40)
+    second = submit(env, platform,
+                    make_manifest(name="second", learners=1, gpus=4,
+                                  iterations=100))
+    env.run(until=env.now + 30)
+    assert platform.job(second).status.current in (st.QUEUED, st.DEPLOYING)
+    assert run_to_terminal(env, platform, first) == st.COMPLETED
+    assert run_to_terminal(env, platform, second) == st.COMPLETED
+    # The second job queued behind the first.
+    assert platform.job(second).status.time_of(st.DOWNLOADING) > \
+        platform.job(first).status.time_of(st.COMPLETED) - 30
+
+
+def test_invalid_manifest_fails_submit():
+    from repro.errors import ValidationError
+    env, platform = make_platform()
+    manifest = make_manifest(iterations=0)
+    with pytest.raises(ValidationError):
+        submit(env, platform, manifest)
+
+
+def test_unknown_job_raises():
+    from repro.errors import JobNotFoundError
+    _env, platform = make_platform()
+    with pytest.raises(JobNotFoundError):
+        platform.job("nope")
+
+
+def test_job_status_api_reads_mongo():
+    env, platform = make_platform()
+    job_id = submit(env, platform, make_manifest())
+    doc = env.run_until_complete(platform.job_status(job_id),
+                                 limit=env.now + 100)
+    assert doc["_id"] == job_id
+
+
+def test_caffe_job_runs():
+    from repro.core import JobManifest
+    env, platform = make_platform()
+    manifest = JobManifest(name="caffe-job", user="alice",
+                           framework="caffe", model="vgg16",
+                           learners=1, gpus_per_learner=1, gpu_type="K80",
+                           iterations=100)
+    job_id = submit(env, platform, manifest)
+    assert run_to_terminal(env, platform, job_id) == st.COMPLETED

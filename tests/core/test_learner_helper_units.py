@@ -1,0 +1,156 @@
+"""Unit tests for learner checkpoint mechanics and the helper containers."""
+
+import pytest
+
+from repro.core.helper import (
+    ControllerState,
+    make_controller_workload,
+    make_log_collector_workload,
+)
+from repro.core.learner import (
+    LearnerContext,
+    LearnerState,
+    checkpoint_key,
+    find_latest_checkpoint,
+)
+from repro.core.logging_service import LogIndex
+from repro.core.manifest import JobManifest
+from repro.docker import Container, Image
+from repro.etcd import EtcdClient, EtcdStore
+from repro.nfs import NFSVolume
+from repro.objectstore import BucketMount, ObjectStorageService
+from repro.sim import Environment
+
+
+def make_ctx(env, job_id="job-x"):
+    oss = ObjectStorageService(env, bandwidth_bps=1e9,
+                               request_latency_s=0.0)
+    oss.create_bucket("results")
+    manifest = JobManifest(name="unit", user="u",
+                           framework="tensorflow", model="resnet50")
+    return LearnerContext(
+        env=env, manifest=manifest, job_id=job_id,
+        volume=NFSVolume("v"),
+        data_mount=BucketMount(env, oss, "results"),
+        result_mount=BucketMount(env, oss, "results")), oss
+
+
+def test_checkpoint_key_sorts_numerically():
+    keys = [checkpoint_key("j", 0, i) for i in (5, 50, 500, 5000)]
+    assert keys == sorted(keys)
+
+
+def test_find_latest_checkpoint_none_when_empty():
+    env = Environment()
+    ctx, _oss = make_ctx(env)
+    assert find_latest_checkpoint(ctx, 0) is None
+
+
+def test_find_latest_checkpoint_picks_newest():
+    env = Environment()
+    ctx, oss = make_ctx(env)
+    bucket = oss.bucket("results")
+    for iteration in (500, 1500, 1000):
+        bucket.put(checkpoint_key("job-x", 0, iteration), 1e6)
+    bucket.put(checkpoint_key("job-x", 1, 9000), 1e6)  # other learner
+    assert find_latest_checkpoint(ctx, 0) == 1500
+    assert find_latest_checkpoint(ctx, 1) == 9000
+
+
+def test_controller_relays_statuses_to_etcd():
+    env = Environment()
+    volume = NFSVolume("shared")
+    etcd = EtcdClient(env, EtcdStore(env))
+    state = ControllerState()
+    manifest = JobManifest(name="j", user="u", framework="tensorflow",
+                           model="resnet50", learners=2)
+    workload = make_controller_workload(env, manifest, "job-1", volume,
+                                        etcd, state)
+    container = Container(env, Image("helper"), "helper/controller",
+                          workload)
+    container.start()
+    env.run(until=1.0)
+
+    volume.write("learners/0/status", "DOWNLOADING")
+    volume.write("learners/1/status", "DOWNLOADING")
+    env.run(until=5.0)
+    store = etcd.backend
+    assert store.get("/jobs/job-1/learners/0/status").value == \
+        "DOWNLOADING"
+    assert state.statuses == {0: "DOWNLOADING", 1: "DOWNLOADING"}
+
+    volume.write("learners/0/exit", "0")
+    env.run(until=10.0)
+    assert store.get("/jobs/job-1/learners/0/exit").value == "0"
+    assert state.exits == {0: "0"}
+
+
+def test_controller_keys_carry_lease():
+    env = Environment()
+    volume = NFSVolume("shared")
+    store = EtcdStore(env)
+    etcd = EtcdClient(env, store)
+    state = ControllerState()
+    manifest = JobManifest(name="j", user="u", framework="tensorflow",
+                           model="resnet50")
+    container = Container(env, Image("helper"), "h/controller",
+                          make_controller_workload(env, manifest, "job-2",
+                                                   volume, etcd, state))
+    container.start()
+    env.run(until=1.0)
+    volume.write("learners/0/status", "PROCESSING")
+    env.run(until=5.0)
+    kv = store.get("/jobs/job-2/learners/0/status")
+    assert kv.lease_id == state.lease_id
+    # Kill the controller: the lease stops being refreshed and the stale
+    # key self-erases after the TTL.
+    container.kill()
+    env.run(until=200.0)
+    assert store.get("/jobs/job-2/learners/0/status") is None
+
+
+def test_controller_picks_up_preexisting_files():
+    env = Environment()
+    volume = NFSVolume("shared")
+    volume.write("learners/0/status", "PROCESSING")  # before start
+    etcd = EtcdClient(env, EtcdStore(env))
+    state = ControllerState()
+    manifest = JobManifest(name="j", user="u", framework="tensorflow",
+                           model="resnet50")
+    container = Container(env, Image("helper"), "h/controller",
+                          make_controller_workload(env, manifest, "job-3",
+                                                   volume, etcd, state))
+    container.start()
+    env.run(until=5.0)
+    assert state.statuses == {0: "PROCESSING"}
+
+
+def test_log_collector_ships_incrementally():
+    env = Environment()
+    volume = NFSVolume("shared")
+    index = LogIndex()
+    container = Container(env, Image("helper"), "h/log-collector",
+                          make_log_collector_workload(env, "job-4",
+                                                      volume, index))
+    container.start()
+    env.run(until=0.5)
+    volume.append("learners/0/log", "line-1\n")
+    env.run(until=3.0)
+    volume.append("learners/0/log", "line-2\nline-3\n")
+    env.run(until=6.0)
+    lines = [e.line for e in index.logs_for("job-4")]
+    assert lines == ["line-1", "line-2", "line-3"]  # no duplicates
+
+
+def test_log_collector_ignores_non_log_files():
+    env = Environment()
+    volume = NFSVolume("shared")
+    index = LogIndex()
+    container = Container(env, Image("helper"), "h/log-collector",
+                          make_log_collector_workload(env, "job-5",
+                                                      volume, index))
+    container.start()
+    env.run(until=0.5)
+    volume.write("learners/0/status", "PROCESSING")
+    env.run(until=3.0)
+    assert index.logs_for("job-5") == []

@@ -1,0 +1,102 @@
+"""Tests for manifest validation and t-shirt sizing."""
+
+import pytest
+
+from repro.core import JobManifest, TSHIRT_SIZES, derive_cpus, recommend
+from repro.core.tshirt import memory_gb
+from repro.errors import ValidationError
+
+from tests.core.conftest import make_manifest
+
+
+def test_valid_manifest_passes():
+    make_manifest().validate()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("name", ""),
+    ("user", ""),
+    ("framework", "mxnet"),
+    ("model", "alexnet"),
+    ("learners", 0),
+    ("gpus_per_learner", -1),
+    ("gpu_type", "A100"),
+    ("iterations", 0),
+    ("checkpoint_interval_iterations", -5),
+])
+def test_invalid_manifests_rejected(field, value):
+    manifest = make_manifest()
+    setattr(manifest, field, value)
+    with pytest.raises(ValidationError):
+        manifest.validate()
+
+
+def test_unsized_gpu_config_requires_explicit_cpus():
+    manifest = make_manifest(gpus=4, gpu_type="V100")  # no 4xV100 t-shirt
+    with pytest.raises(ValidationError):
+        manifest.validate()
+    manifest.cpus_per_learner = 52
+    manifest.validate()
+
+
+def test_total_gpus():
+    assert make_manifest(learners=4, gpus=2).total_gpus == 8
+
+
+def test_effective_resources_default_to_tshirt():
+    manifest = make_manifest(gpus=2, gpu_type="P100")
+    assert manifest.effective_cpus() == 16
+    assert manifest.effective_memory_gb() == 48
+
+
+def test_effective_resources_explicit_override():
+    manifest = make_manifest(cpus_per_learner=3.0,
+                             memory_gb_per_learner=12.0)
+    assert manifest.effective_cpus() == 3.0
+    assert manifest.effective_memory_gb() == 12.0
+
+
+def test_cpu_only_job_defaults():
+    manifest = make_manifest(gpus=0)
+    manifest.gpus_per_learner = 0
+    assert manifest.effective_cpus() == 4.0
+
+
+def test_table5_values():
+    """Table 5 of the paper, verbatim."""
+    expect = {
+        ("K80", 1): (4, 24), ("K80", 2): (8, 48), ("K80", 4): (16, 96),
+        ("P100", 1): (8, 24), ("P100", 2): (16, 48),
+        ("V100", 1): (26, 24), ("V100", 2): (42, 48),
+    }
+    for (gpu, count), (cpus, mem) in expect.items():
+        size = recommend(gpu, count)
+        assert (size.cpus, size.memory_gb) == (cpus, mem)
+
+
+def test_recommend_unknown_raises():
+    with pytest.raises(ValidationError):
+        recommend("K80", 8)
+
+
+def test_derived_cpus_increase_with_gpu_speed():
+    k80 = derive_cpus("K80", 1)
+    p100 = derive_cpus("P100", 1)
+    v100 = derive_cpus("V100", 1)
+    assert k80 <= p100 <= v100
+
+
+def test_derived_cpus_scale_with_gpu_count():
+    assert derive_cpus("K80", 4) == 4 * derive_cpus("K80", 1)
+
+
+def test_derived_cpus_roughly_match_table5():
+    """The derivation should land near the published sizes (within 2x)."""
+    for (gpu, count), size in TSHIRT_SIZES.items():
+        derived = derive_cpus(gpu, count)
+        assert size.cpus / 2 <= derived <= size.cpus * 2, (gpu, count)
+
+
+def test_memory_recommendation():
+    assert memory_gb(1) == 24
+    assert memory_gb(2) == 48

@@ -1,0 +1,31 @@
+"""Tests for the cluster utilization sampler."""
+
+import pytest
+
+from tests.core.conftest import make_manifest, make_platform, submit
+
+
+def test_sampler_records_utilization_series():
+    env, platform = make_platform(nodes=1, gpus_per_node=4)
+    platform.start_utilization_sampler(interval_s=30.0)
+    job_id = submit(env, platform,
+                    make_manifest(learners=1, gpus=4, iterations=2000))
+    env.run(until=600)
+    series = platform.metrics.series("cluster_gpu_utilization")
+    assert len(series) >= 10
+    # Utilization observed both idle (before deploy) and fully allocated.
+    values = [p.value for p in series]
+    assert min(values) == 0.0
+    assert max(values) == 1.0
+    times = [p.time for p in series]
+    assert times == sorted(times)
+
+
+def test_sampler_can_be_stopped():
+    env, platform = make_platform()
+    proc = platform.start_utilization_sampler(interval_s=10.0)
+    env.run(until=50)
+    count = len(platform.metrics.series("cluster_gpu_utilization"))
+    proc.interrupt()
+    env.run(until=200)
+    assert len(platform.metrics.series("cluster_gpu_utilization")) == count

@@ -1,0 +1,106 @@
+"""Tests for parameter-server jobs (Sections 3.1 and 3.8)."""
+
+import pytest
+
+from repro.core import statuses as st
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def ps_manifest(**kwargs):
+    kwargs.setdefault("learners", 2)
+    kwargs.setdefault("iterations", 2000)
+    manifest = make_manifest(**kwargs)
+    manifest.parameter_servers = 1
+    return manifest
+
+
+def test_ps_pods_deploy_with_the_job():
+    env, platform = make_platform()
+    job_id = submit(env, platform, ps_manifest(iterations=4000))
+    env.run(until=env.now + 120)
+    pods = [p for p in platform.cluster.api.list_pods()
+            if p.meta.labels.get("job") == job_id]
+    types = sorted(p.meta.labels.get("type") for p in pods)
+    assert types.count("learner") == 2
+    assert types.count("ps") == 1
+    ps_pod = next(p for p in pods if p.meta.labels["type"] == "ps")
+    assert ps_pod.phase == "Running"
+    assert ps_pod.spec.resources.gpus == 0  # CPU-only
+
+
+def test_ps_pods_share_the_gang():
+    env, platform = make_platform()
+    job_id = submit(env, platform, ps_manifest(iterations=4000))
+    env.run(until=env.now + 120)
+    job = platform.job(job_id)
+    pods = [p for p in platform.cluster.api.list_pods()
+            if p.meta.labels.get("job") == job_id
+            and p.meta.labels.get("type") in ("learner", "ps")]
+    assert all(p.spec.gang_name == job.statefulset_name for p in pods)
+    assert all(p.spec.gang_size == 3 for p in pods)
+
+
+def test_ps_job_completes_and_gc_removes_ps_pods():
+    env, platform = make_platform()
+    job_id = submit(env, platform, ps_manifest(iterations=1000))
+    assert run_to_terminal(env, platform, job_id, limit=1e7) == \
+        st.COMPLETED
+    env.run(until=env.now + 60)
+    job = platform.job(job_id)
+    assert not platform.cluster.api.exists("statefulsets",
+                                           job.ps_set_name)
+    # Completed Guardian pods linger like real K8S Job pods; no live
+    # learner/ps/helper pods remain.
+    leftovers = [p for p in platform.cluster.api.list_pods()
+                 if p.meta.labels.get("job") == job_id
+                 and not p.is_terminal]
+    assert leftovers == []
+    assert platform.cluster.allocated_gpus() == 0
+
+
+def test_learner_crash_recovers_via_ps_without_checkpoint():
+    env, platform = make_platform()
+    manifest = ps_manifest(iterations=3000, ckpt=0)  # no checkpoints!
+    job_id = submit(env, platform, manifest)
+    job = platform.job(job_id)
+    while job.learner_states[0].iterations_done < 800 and env.now < 5000:
+        env.run(until=env.now + 10)
+    assert job.learner_states[0].iterations_done >= 800
+    learner_pod = next(p for p in platform.learner_pods(job_id)
+                       if p.name.endswith("-0"))
+    platform.kill_pod_containers(learner_pod.name)
+    status = run_to_terminal(env, platform, job_id, limit=1e7)
+    assert status == st.COMPLETED
+    state = job.learner_states[0]
+    # Recovered from the parameter server, not from object storage.
+    assert state.checkpoints_loaded == 0
+    assert state.iterations_done == 3000
+
+
+def test_without_ps_crash_without_checkpoint_restarts_from_zero():
+    """Contrast case: same crash, no PS, no checkpoints -> work lost."""
+    env, platform = make_platform()
+    manifest = make_manifest(learners=1, iterations=3000, ckpt=0)
+    job_id = submit(env, platform, manifest)
+    job = platform.job(job_id)
+    while job.learner_states[0].iterations_done < 800 and env.now < 5000:
+        env.run(until=env.now + 10)
+    progressed = job.learner_states[0].iterations_done
+    platform.kill_pod_containers(platform.learner_pods(job_id)[0].name)
+    env.run(until=env.now + 60)
+    # Fresh start: progress went backwards.
+    assert job.learner_states[0].iterations_done < progressed
+
+
+def test_negative_ps_count_rejected():
+    from repro.errors import ValidationError
+    manifest = ps_manifest()
+    manifest.parameter_servers = -1
+    with pytest.raises(ValidationError):
+        manifest.validate()

@@ -1,0 +1,99 @@
+"""Tests for the priority-management extension (Section 3.6 ongoing work)."""
+
+import pytest
+
+from repro.core.priority import EXTERNAL, INTERNAL, PriorityManager
+
+HOUR = 3600.0
+
+
+def test_registration_kinds():
+    pm = PriorityManager()
+    pm.register_internal("alice")
+    pm.register_external("acme", bid_multiplier=2.0)
+    assert pm.user_kind("alice") == INTERNAL
+    assert pm.user_kind("acme") == EXTERNAL
+    assert pm.user_kind("ghost") is None
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PriorityManager(half_life_hours=0)
+    pm = PriorityManager()
+    with pytest.raises(ValueError):
+        pm.register_external("x", bid_multiplier=0)
+
+
+def test_light_internal_user_has_full_priority():
+    pm = PriorityManager()
+    pm.register_internal("light")
+    assert pm.priority("light", now_s=0.0) == pytest.approx(100.0)
+
+
+def test_heavy_internal_user_priority_decreases():
+    pm = PriorityManager()
+    pm.register_internal("heavy")
+    pm.register_internal("light")
+    pm.charge("heavy", gpus=16, duration_s=24 * HOUR, now_s=24 * HOUR)
+    heavy = pm.priority("heavy", now_s=24 * HOUR)
+    light = pm.priority("light", now_s=24 * HOUR)
+    assert heavy < light
+    # Exponential: doubling the usage squares the priority ratio.
+    pm.charge("heavy", gpus=16, duration_s=24 * HOUR, now_s=24 * HOUR)
+    heavier = pm.priority("heavy", now_s=24 * HOUR)
+    assert heavier < heavy
+
+
+def test_usage_decays_with_half_life():
+    pm = PriorityManager(half_life_hours=24.0)
+    pm.register_internal("u")
+    pm.charge("u", gpus=10, duration_s=HOUR, now_s=0.0)
+    initial = pm.decayed_usage("u", now_s=0.0)
+    after_one_half_life = pm.decayed_usage("u", now_s=24 * HOUR)
+    assert after_one_half_life == pytest.approx(initial / 2, rel=0.01)
+    # Priority recovers as usage decays (query in time order: the decayed
+    # accounting is monotone in now_s).
+    soon = pm.priority("u", now_s=24 * HOUR)
+    later = pm.priority("u", now_s=240 * HOUR)
+    assert later > soon
+
+
+def test_price_rises_with_utilization():
+    pm = PriorityManager()
+    assert pm.current_price(0.0) == pytest.approx(1.0)
+    assert pm.current_price(0.5) < pm.current_price(0.9)
+    assert pm.current_price(1.5) == pm.current_price(1.0)  # clamped
+
+
+def test_external_priority_follows_bid_vs_price():
+    pm = PriorityManager()
+    pm.register_external("cheap", bid_multiplier=1.0)
+    pm.register_external("premium", bid_multiplier=3.0)
+    # Idle cluster: both afford the price.
+    assert pm.priority("cheap", 0.0, cluster_utilization=0.0) > 0
+    # Saturated cluster: the premium bidder outranks the base bidder.
+    cheap = pm.priority("cheap", 0.0, cluster_utilization=1.0)
+    premium = pm.priority("premium", 0.0, cluster_utilization=1.0)
+    assert premium > cheap
+
+
+def test_dispatch_order_priority_then_fcfs():
+    pm = PriorityManager()
+    pm.register_internal("heavy")
+    pm.register_internal("light")
+    pm.charge("heavy", gpus=32, duration_s=48 * HOUR, now_s=0.0)
+    queued = [("j1", "heavy", 0.0), ("j2", "light", 10.0),
+              ("j3", "light", 5.0)]
+    order = pm.dispatch_order(queued, now_s=0.0)
+    # Light user's jobs first (FCFS between them), heavy user last.
+    assert order == ["j3", "j2", "j1"]
+
+
+def test_dispatch_order_mixes_internal_and_external():
+    pm = PriorityManager()
+    pm.register_internal("engineer")
+    pm.register_external("customer", bid_multiplier=3.0)
+    queued = [("a", "engineer", 0.0), ("b", "customer", 1.0)]
+    order = pm.dispatch_order(queued, now_s=0.0,
+                              cluster_utilization=0.9)
+    assert order[0] == "b"  # high bidder wins on a busy cluster

@@ -1,0 +1,78 @@
+"""End-to-end tests with Raft-replicated etcd and a MongoDB replica set.
+
+The paper: "Both MongoDB and etcd are also replicated for high
+availability."  These tests run full training jobs against the replicated
+backends and crash replicas mid-flight.
+"""
+
+import pytest
+
+from repro.core import PlatformConfig, statuses as st
+
+from tests.core.conftest import (
+    make_manifest,
+    make_platform,
+    run_to_terminal,
+    submit,
+)
+
+
+def replicated_platform(**kwargs):
+    config = PlatformConfig(etcd_replicas=3, mongo_secondaries=2)
+    return make_platform(config=config, **kwargs)
+
+
+def test_job_completes_on_replicated_backends():
+    env, platform = replicated_platform()
+    env.run(until=2.0)  # let the etcd Raft group elect
+    job_id = submit(env, platform, make_manifest(iterations=200))
+    assert run_to_terminal(env, platform, job_id, limit=1e7) == \
+        st.COMPLETED
+    # Job metadata replicated to every Mongo member.
+    env.run(until=env.now + 5)
+    for member in platform.mongo.members:
+        doc = member.collection("jobs").find_one({"_id": job_id})
+        assert doc is not None and doc["status"] == st.COMPLETED
+
+
+def test_job_survives_etcd_leader_crash():
+    env, platform = replicated_platform()
+    env.run(until=2.0)
+    job_id = submit(env, platform, make_manifest(iterations=2500))
+    job = platform.job(job_id)
+    while job.status.current != st.PROCESSING and env.now < 3000:
+        env.run(until=env.now + 5)
+    assert job.status.current == st.PROCESSING
+    crashed = platform.etcd.crash_leader()
+    assert crashed is not None
+    status = run_to_terminal(env, platform, job_id, limit=1e7)
+    assert status == st.COMPLETED
+
+
+def test_job_survives_mongo_primary_crash():
+    env, platform = replicated_platform()
+    env.run(until=2.0)
+    job_id = submit(env, platform, make_manifest(iterations=2000))
+    env.run(until=env.now + 60)
+    platform.mongo.crash_member(platform.mongo.primary_index)
+    status = run_to_terminal(env, platform, job_id, limit=1e7)
+    assert status == st.COMPLETED
+    doc = platform.mongo.collection("jobs").find_one({"_id": job_id})
+    assert doc["status"] == st.COMPLETED
+
+
+def test_etcd_status_keys_replicated_across_members():
+    env, platform = replicated_platform()
+    env.run(until=2.0)
+    job_id = submit(env, platform, make_manifest(iterations=3000))
+    job = platform.job(job_id)
+    while job.status.current != st.PROCESSING and env.now < 3000:
+        env.run(until=env.now + 5)
+    env.run(until=env.now + 10)
+    prefix = f"/jobs/{job_id}/"
+    hub_keys = [kv.key for kv in platform.etcd.hub.range(prefix)]
+    assert hub_keys  # learner statuses present
+    for sm in platform.etcd.replicas.values():
+        replica_keys = [kv.key for kv in sm.store.range(prefix)]
+        assert set(hub_keys) <= set(replica_keys) | set(hub_keys)
+        assert replica_keys  # replicated through Raft

@@ -1,0 +1,107 @@
+"""Tests for replicated microservices, metrics and log index."""
+
+import pytest
+
+from repro.core import Microservice, TrainingMetricsService
+from repro.core.logging_service import LogIndex
+from repro.sim import Environment, RngRegistry
+
+
+def make_service(replicas=2, recovery=(3.0, 5.0)):
+    env = Environment()
+    metrics = TrainingMetricsService(env)
+    service = Microservice(env, RngRegistry(0), "svc", replicas=replicas,
+                           recovery_range_s=recovery, metrics=metrics)
+    return env, service, metrics
+
+
+def test_call_returns_result_with_latency():
+    env, service, _m = make_service()
+
+    def flow():
+        result = yield service.call(lambda: 42)
+        return result, env.now
+
+    result, when = env.run_until_complete(env.process(flow()))
+    assert result == 42
+    assert when == pytest.approx(service.request_latency_s)
+
+
+def test_single_replica_crash_keeps_service_available():
+    env, service, _m = make_service(replicas=2)
+    service.crash_replica()
+    assert service.available
+
+    def flow():
+        return (yield service.call(lambda: "ok"))
+
+    assert env.run_until_complete(env.process(flow()),
+                                  limit=10) == "ok"
+
+
+def test_total_outage_blocks_until_recovery():
+    env, service, _m = make_service(replicas=2, recovery=(3.0, 3.0))
+    service.crash_replica()
+    service.crash_replica()
+    assert not service.available
+
+    def flow():
+        result = yield service.call(lambda: "served")
+        return result, env.now
+
+    result, when = env.run_until_complete(env.process(flow()), limit=100)
+    assert result == "served"
+    assert when >= 3.0
+
+
+def test_recovery_time_within_configured_range():
+    env, service, _m = make_service(recovery=(3.0, 5.0))
+    for _ in range(5):
+        service.crash_replica()
+        env.run(until=env.now + 10)
+    for down, up in service.recovery_log:
+        assert 3.0 <= up - down <= 5.0
+
+
+def test_metrics_track_failures_and_recoveries():
+    env, service, metrics = make_service()
+    service.crash_replica()
+    env.run(until=20)
+    assert metrics.component_failures["svc"] == 1
+    assert metrics.component_recoveries["svc"] == 1
+
+
+def test_crash_beyond_all_replicas_is_noop():
+    env, service, _m = make_service(replicas=1)
+    service.crash_replica()
+    assert service.crash_replica() == 0.0
+
+
+def test_replicas_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Microservice(env, RngRegistry(0), "bad", replicas=0)
+
+
+def test_metrics_series_and_aggregates():
+    env = Environment()
+    metrics = TrainingMetricsService(env)
+    metrics.emit("gpu_util", 0.5, node="n1")
+    metrics.emit("gpu_util", 0.7, node="n1")
+    assert len(metrics.series("gpu_util")) == 2
+    assert metrics.latest("gpu_util") == 0.7
+    assert metrics.sum("gpu_util") == pytest.approx(1.2)
+    with pytest.raises(KeyError):
+        metrics.latest("missing")
+
+
+def test_log_index_search_and_sources():
+    index = LogIndex()
+    index.ingest("job-1", "learners/0/log", "PROCESSING started", 1.0)
+    index.ingest("job-1", "learners/1/log", "CUDA OOM", 2.0)
+    index.ingest("job-2", "learners/0/log", "other job", 3.0)
+    assert len(index.logs_for("job-1")) == 2
+    assert len(index.logs_for("job-1", "learners/0/log")) == 1
+    assert [e.line for e in index.search("job-1", "OOM")] == ["CUDA OOM"]
+    assert index.job_ids() == ["job-1", "job-2"]
+    assert index.total_entries == 3

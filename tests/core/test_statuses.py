@@ -1,0 +1,84 @@
+"""Unit tests for the job status state machine."""
+
+import pytest
+
+from repro.core import statuses as st
+from repro.core.statuses import StatusHistory, is_valid_transition
+from repro.errors import PlatformError
+
+
+def test_normal_pipeline():
+    history = StatusHistory()
+    for i, status in enumerate([st.QUEUED, st.DEPLOYING, st.DOWNLOADING,
+                                st.PROCESSING, st.STORING, st.COMPLETED]):
+        history.transition(status, float(i))
+    assert history.current == st.COMPLETED
+    assert history.is_terminal
+
+
+def test_unknown_status_rejected():
+    history = StatusHistory()
+    with pytest.raises(PlatformError):
+        history.transition("EXPLODED", 0.0)
+
+
+def test_illegal_transition_rejected():
+    history = StatusHistory()
+    history.transition(st.COMPLETED, 0.0) if False else None
+    history.transition(st.QUEUED, 0.0)
+    with pytest.raises(PlatformError):
+        history.transition(st.PROCESSING, 1.0)  # must deploy first
+
+
+def test_completed_is_final():
+    history = StatusHistory()
+    history.transition(st.QUEUED, 0.0)
+    history.transition(st.DEPLOYING, 1.0)
+    history.transition(st.COMPLETED, 2.0)
+    with pytest.raises(PlatformError):
+        history.transition(st.PROCESSING, 3.0)
+
+
+def test_halt_resume_cycle():
+    history = StatusHistory()
+    for status, t in [(st.QUEUED, 0), (st.DEPLOYING, 1),
+                      (st.DOWNLOADING, 2), (st.PROCESSING, 3),
+                      (st.HALTED, 4), (st.RESUMED, 5), (st.DEPLOYING, 6),
+                      (st.DOWNLOADING, 7), (st.PROCESSING, 8),
+                      (st.STORING, 9), (st.COMPLETED, 10)]:
+        history.transition(status, float(t))
+    assert history.current == st.COMPLETED
+
+
+def test_restart_goes_back_to_downloading():
+    history = StatusHistory()
+    for status, t in [(st.QUEUED, 0), (st.DEPLOYING, 1),
+                      (st.DOWNLOADING, 2), (st.PROCESSING, 3),
+                      (st.DOWNLOADING, 4)]:
+        history.transition(status, float(t))
+    assert history.current == st.DOWNLOADING
+
+
+def test_duration_in_status():
+    history = StatusHistory()
+    history.transition(st.QUEUED, 0.0)
+    history.transition(st.DEPLOYING, 10.0)
+    history.transition(st.DOWNLOADING, 15.0)
+    assert history.duration_in(st.QUEUED) == 10.0
+    assert history.duration_in(st.DEPLOYING) == 5.0
+    assert history.duration_in(st.PROCESSING) == 0.0
+
+
+def test_time_of_first_entry():
+    history = StatusHistory()
+    history.transition(st.QUEUED, 1.0)
+    history.transition(st.DEPLOYING, 2.0)
+    assert history.time_of(st.QUEUED) == 1.0
+    assert history.time_of(st.COMPLETED) is None
+
+
+def test_is_valid_transition_helper():
+    assert is_valid_transition(None, st.QUEUED)
+    assert is_valid_transition(st.PROCESSING, st.COMPLETED)
+    assert not is_valid_transition(st.COMPLETED, st.QUEUED)
+    assert not is_valid_transition(st.HALTED, st.PROCESSING)

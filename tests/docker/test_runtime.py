@@ -1,0 +1,189 @@
+"""Tests for the container runtime."""
+
+import pytest
+
+from repro.docker import CREATED, Container, EXITED, Image, Registry, RUNNING
+from repro.docker.runtime import SIGKILL_EXIT_CODE
+from repro.errors import ContainerError, ImageNotFoundError
+from repro.sim import Environment
+
+TF_IMAGE = Image("tensorflow", "1.5", framework="tensorflow",
+                 size_bytes=2.5e9)
+
+
+def test_image_reference():
+    assert TF_IMAGE.reference == "tensorflow:1.5"
+
+
+def test_registry_push_get_and_missing():
+    env = Environment()
+    registry = Registry(env)
+    registry.push(TF_IMAGE)
+    assert registry.get("tensorflow:1.5") is TF_IMAGE
+    with pytest.raises(ImageNotFoundError):
+        registry.get("caffe:1.0")
+
+
+def test_pull_cold_then_cached():
+    env = Environment()
+    registry = Registry(env, pull_bandwidth_bps=2.5e8)
+    registry.push(TF_IMAGE)
+
+    def flow():
+        yield registry.pull("node-1", "tensorflow:1.5")
+        cold = env.now
+        yield registry.pull("node-1", "tensorflow:1.5")
+        return cold, env.now
+
+    cold, warm = env.run_until_complete(env.process(flow()))
+    assert cold == pytest.approx(10.0)  # 2.5 GB at 250 MB/s
+    assert warm - cold == pytest.approx(0.1)
+    assert registry.cache_hits == 1
+
+
+def test_pull_cache_is_per_node():
+    env = Environment()
+    registry = Registry(env, pull_bandwidth_bps=2.5e8)
+    registry.push(TF_IMAGE)
+
+    def flow():
+        yield registry.pull("node-1", "tensorflow:1.5")
+        yield registry.pull("node-2", "tensorflow:1.5")
+
+    env.run_until_complete(env.process(flow()))
+    assert registry.cache_hits == 0
+
+
+def test_container_runs_workload_to_completion():
+    env = Environment()
+
+    def workload(container):
+        container.log("training")
+        yield env.timeout(10)
+        return 0
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    assert c.state == CREATED
+    c.start()
+    assert c.state == RUNNING
+    env.run()
+    assert c.state == EXITED
+    assert c.exit_code == 0
+    assert c.runtime_s == pytest.approx(10.0)
+    assert c.logs[0][1] == "training"
+
+
+def test_container_nonzero_exit_code():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(1)
+        return 42
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+    env.run()
+    assert c.exit_code == 42
+
+
+def test_workload_exception_maps_to_exit_1():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(1)
+        raise RuntimeError("CUDA OOM")
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+    env.run()
+    assert c.exit_code == 1
+    assert any("CUDA OOM" in line for _t, line in c.logs)
+
+
+def test_kill_running_container():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(100)
+        return 0
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+
+    def killer():
+        yield env.timeout(5)
+        c.kill()
+
+    env.process(killer())
+    env.run()
+    assert c.state == EXITED
+    assert c.exit_code == SIGKILL_EXIT_CODE
+    assert c.finished_at == 5
+
+
+def test_kill_is_idempotent_and_safe_after_exit():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(1)
+        return 0
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+    env.run()
+    c.kill()  # exited already: no-op
+    assert c.exit_code == 0
+
+
+def test_wait_resolves_with_exit_code():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(3)
+        return 7
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+
+    def waiter():
+        code = yield c.wait()
+        return code, env.now
+
+    result = env.run_until_complete(env.process(waiter()))
+    assert result == (7, 3.0)
+
+
+def test_wait_after_exit_resolves_immediately():
+    env = Environment()
+
+    def workload(container):
+        yield env.timeout(1)
+        return 0
+
+    c = Container(env, TF_IMAGE, "learner-0", workload)
+    c.start()
+    env.run()
+
+    def waiter():
+        code = yield c.wait()
+        return code
+
+    assert env.run_until_complete(env.process(waiter())) == 0
+
+
+def test_double_start_rejected():
+    env = Environment()
+    c = Container(env, TF_IMAGE, "idle")
+    c.start()
+    with pytest.raises(ContainerError):
+        c.start()
+
+
+def test_idle_container_runs_until_killed():
+    env = Environment()
+    c = Container(env, TF_IMAGE, "sidecar")
+    c.start()
+    env.run(until=10)
+    assert c.is_running
+    c.kill()
+    assert c.state == EXITED

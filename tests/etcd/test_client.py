@@ -1,0 +1,124 @@
+"""Tests for the EtcdClient facade."""
+
+import pytest
+
+from repro.etcd import EtcdClient, EtcdStore, ReplicatedEtcd
+from repro.sim import Environment, RngRegistry
+
+
+def standalone_client(latency=0.002):
+    env = Environment()
+    store = EtcdStore(env)
+    return env, store, EtcdClient(env, store, latency_s=latency)
+
+
+def test_put_and_get_roundtrip():
+    env, _store, client = standalone_client()
+
+    def flow():
+        yield client.put("k", "v")
+        kv = yield client.get("k")
+        return kv.value
+
+    assert env.run_until_complete(env.process(flow())) == "v"
+
+
+def test_ops_take_latency():
+    env, _store, client = standalone_client(latency=0.01)
+
+    def flow():
+        yield client.put("k", 1)
+        return env.now
+
+    assert env.run_until_complete(env.process(flow())) == pytest.approx(0.01)
+
+
+def test_get_value_resolves_bare_value_or_none():
+    env, store, client = standalone_client()
+    store.put("k", 42)
+
+    def flow():
+        present = yield client.get_value("k")
+        absent = yield client.get_value("missing")
+        return present, absent
+
+    assert env.run_until_complete(env.process(flow())) == (42, None)
+
+
+def test_range_through_client():
+    env, store, client = standalone_client()
+    store.put("a/1", 1)
+    store.put("a/2", 2)
+
+    def flow():
+        kvs = yield client.range("a/")
+        return [kv.key for kv in kvs]
+
+    assert env.run_until_complete(env.process(flow())) == ["a/1", "a/2"]
+
+
+def test_delete_prefix_through_client():
+    env, store, client = standalone_client()
+    store.put("a/1", 1)
+    store.put("a/2", 2)
+
+    def flow():
+        count = yield client.delete_prefix("a/")
+        return count
+
+    assert env.run_until_complete(env.process(flow())) == 2
+
+
+def test_watch_is_synchronous_and_streams():
+    env, _store, client = standalone_client()
+    watcher = client.watch_prefix("jobs/")
+
+    def flow():
+        yield client.put("jobs/1", "x")
+        ev = yield watcher.get()
+        return ev.key
+
+    assert env.run_until_complete(env.process(flow())) == "jobs/1"
+
+
+def test_lease_grant_keepalive_revoke():
+    env, _store, client = standalone_client()
+
+    def flow():
+        lease = yield client.grant_lease(10.0)
+        yield client.put("k", 1, lease_id=lease.lease_id)
+        alive = yield client.keepalive(lease.lease_id)
+        assert alive
+        yield client.revoke(lease.lease_id)
+        value = yield client.get_value("k")
+        return value, client.lease_alive(lease.lease_id)
+
+    value, alive = env.run_until_complete(env.process(flow()))
+    assert value is None
+    assert not alive
+
+
+def test_client_counts_ops():
+    env, _store, client = standalone_client()
+
+    def flow():
+        yield client.put("a", 1)
+        yield client.get("a")
+
+    env.run_until_complete(env.process(flow()))
+    assert client.ops_issued == 2
+
+
+def test_client_over_replicated_backend():
+    env = Environment()
+    etcd = ReplicatedEtcd(env, RngRegistry(0), size=3)
+    client = EtcdClient(env, etcd)
+    env.run(until=1.0)
+
+    def flow():
+        yield client.put("k", "v")
+        value = yield client.get_value("k")
+        return value
+
+    assert env.run_until_complete(env.process(flow()),
+                                  limit=env.now + 20) == "v"

@@ -1,0 +1,143 @@
+"""Unit tests for the single-node etcd store."""
+
+import pytest
+
+from repro.errors import CompareFailedError, LeaseExpiredError, StoreError
+from repro.etcd import Compare, EtcdStore, Op
+from repro.sim import Environment
+
+
+@pytest.fixture
+def store():
+    return EtcdStore(Environment())
+
+
+def test_put_then_get(store):
+    store.put("a", 1)
+    kv = store.get("a")
+    assert kv.value == 1
+    assert kv.version == 1
+
+
+def test_get_missing_returns_none(store):
+    assert store.get("nope") is None
+
+
+def test_put_bumps_version_and_mod_revision(store):
+    first = store.put("a", 1)
+    second = store.put("a", 2)
+    assert second.version == 2
+    assert second.mod_revision > first.mod_revision
+    assert second.create_revision == first.create_revision
+
+
+def test_revision_is_global(store):
+    store.put("a", 1)
+    store.put("b", 1)
+    assert store.get("b").mod_revision == 2
+
+
+def test_delete_returns_count(store):
+    store.put("a", 1)
+    assert store.delete("a") == 1
+    assert store.delete("a") == 0
+    assert store.get("a") is None
+
+
+def test_delete_bumps_revision(store):
+    store.put("a", 1)
+    rev = store.revision
+    store.delete("a")
+    assert store.revision == rev + 1
+
+
+def test_range_returns_sorted_prefix_matches(store):
+    store.put("jobs/2", "b")
+    store.put("jobs/1", "a")
+    store.put("other/1", "x")
+    result = store.range("jobs/")
+    assert [kv.key for kv in result] == ["jobs/1", "jobs/2"]
+
+
+def test_delete_prefix(store):
+    store.put("jobs/1", 1)
+    store.put("jobs/2", 2)
+    store.put("keep", 3)
+    assert store.delete_prefix("jobs/") == 2
+    assert store.keys() == ["keep"]
+
+
+def test_txn_success_branch(store):
+    store.put("status", "PENDING")
+    ok, _results = store.txn(
+        [Compare("status", "value", "==", "PENDING")],
+        [Op("put", "status", "RUNNING")],
+        [Op("put", "status", "CONFLICT")])
+    assert ok
+    assert store.get("status").value == "RUNNING"
+
+
+def test_txn_failure_branch(store):
+    store.put("status", "FAILED")
+    ok, _results = store.txn(
+        [Compare("status", "value", "==", "PENDING")],
+        [Op("put", "status", "RUNNING")],
+        [Op("put", "marker", "fell-through")])
+    assert not ok
+    assert store.get("status").value == "FAILED"
+    assert store.get("marker").value == "fell-through"
+
+
+def test_txn_version_zero_means_absent(store):
+    ok, _ = store.txn([Compare("new-key", "version", "==", 0)],
+                      [Op("put", "new-key", "created")])
+    assert ok
+    # Second attempt: key now exists, guard fails.
+    ok2, _ = store.txn([Compare("new-key", "version", "==", 0)],
+                       [Op("put", "new-key", "clobbered")])
+    assert not ok2
+    assert store.get("new-key").value == "created"
+
+
+def test_txn_delete_op(store):
+    store.put("a", 1)
+    ok, results = store.txn([], [Op("delete", "a")])
+    assert ok and results == [1]
+
+
+def test_txn_unknown_op_rejected(store):
+    with pytest.raises(StoreError):
+        store.txn([], [Op("frobnicate", "a")])
+
+
+def test_check_unknown_field_rejected(store):
+    with pytest.raises(StoreError):
+        store.check(Compare("a", "colour", "==", 1))
+
+
+def test_check_comparison_operators(store):
+    store.put("a", 5)
+    assert store.check(Compare("a", "value", ">", 4))
+    assert store.check(Compare("a", "value", "<", 6))
+    assert store.check(Compare("a", "value", "!=", 9))
+    with pytest.raises(StoreError):
+        store.check(Compare("a", "value", "~=", 1))
+
+
+def test_cas_success_and_failure(store):
+    store.put("k", "old")
+    store.cas("k", "old", "new")
+    assert store.get("k").value == "new"
+    with pytest.raises(CompareFailedError):
+        store.cas("k", "old", "newer")
+
+
+def test_put_with_dead_lease_rejected(store):
+    with pytest.raises(LeaseExpiredError):
+        store.put("a", 1, lease_id=999)
+
+
+def test_len_counts_keys(store):
+    store.put("a", 1)
+    store.put("b", 2)
+    assert len(store) == 2

@@ -1,0 +1,100 @@
+"""Property-based tests for etcd store invariants."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.etcd import EtcdStore
+from repro.sim import Environment
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from("abcde"),
+                  st.integers(min_value=0, max_value=100)),
+        st.tuples(st.just("delete"), st.sampled_from("abcde"),
+                  st.just(0)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_revision_strictly_increases_on_effective_writes(ops):
+    store = EtcdStore(Environment())
+    last_revision = 0
+    for op, key, value in ops:
+        before = store.revision
+        if op == "put":
+            store.put(key, value)
+            assert store.revision == before + 1
+        else:
+            removed = store.delete(key)
+            assert store.revision == before + (1 if removed else 0)
+        assert store.revision >= last_revision
+        last_revision = store.revision
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_store_matches_dict_semantics(ops):
+    store = EtcdStore(Environment())
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        else:
+            store.delete(key)
+            model.pop(key, None)
+    for key in "abcde":
+        kv = store.get(key)
+        if key in model:
+            assert kv is not None and kv.value == model[key]
+        else:
+            assert kv is None
+    assert store.keys() == sorted(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_version_counts_puts_since_creation(ops):
+    store = EtcdStore(Environment())
+    puts_since_create = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            puts_since_create[key] = puts_since_create.get(key, 0) + 1
+        else:
+            if store.delete(key):
+                puts_since_create.pop(key, None)
+    for key, count in puts_since_create.items():
+        assert store.get(key).version == count
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS)
+def test_watch_replays_every_effective_change(ops):
+    store = EtcdStore(Environment())
+    watcher = store.watch_prefix("")
+    effective = 0
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            effective += 1
+        else:
+            effective += store.delete(key)
+    assert watcher.pending() == effective
+
+
+@settings(max_examples=40, deadline=None)
+@given(ttls=st.lists(st.floats(min_value=1.0, max_value=50.0),
+                     min_size=1, max_size=8))
+def test_all_leased_keys_gone_after_all_ttls(ttls):
+    env = Environment()
+    store = EtcdStore(env)
+    for i, ttl in enumerate(ttls):
+        lease = store.grant_lease(ttl)
+        store.put(f"k{i}", i, lease_id=lease.lease_id)
+    env.run(until=max(ttls) + 1.0)
+    assert len(store) == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the KubeAPI object store and watch fan-out."""
+
+import pytest
+
+from repro.errors import ConflictError, ObjectNotFoundError
+from repro.kube import KubeAPI, ObjectMeta, Pod, PodSpec
+from repro.kube.objects import Node, NodeCapacity
+from repro.sim import Environment
+
+
+@pytest.fixture
+def api():
+    return KubeAPI(Environment())
+
+
+def pod(name):
+    return Pod(meta=ObjectMeta(name=name), spec=PodSpec())
+
+
+def test_create_and_get(api):
+    api.create_pod(pod("a"))
+    assert api.get_pod("a").name == "a"
+
+
+def test_duplicate_create_conflicts(api):
+    api.create_pod(pod("a"))
+    with pytest.raises(ConflictError):
+        api.create_pod(pod("a"))
+
+
+def test_get_missing_raises(api):
+    with pytest.raises(ObjectNotFoundError):
+        api.get_pod("ghost")
+    assert api.try_get_pod("ghost") is None
+
+
+def test_delete_missing_raises(api):
+    with pytest.raises(ObjectNotFoundError):
+        api.delete_pod("ghost")
+
+
+def test_subscribe_receives_lifecycle(api):
+    events = []
+    api.subscribe("pods", lambda verb, obj: events.append((verb,
+                                                           obj.name)))
+    api.create_pod(pod("a"))
+    api.update_pod(api.get_pod("a"))
+    api.delete_pod("a")
+    assert events == [("ADDED", "a"), ("MODIFIED", "a"), ("DELETED", "a")]
+
+
+def test_mark_for_deletion_is_idempotent(api):
+    api.create_pod(pod("a"))
+    modified = []
+    api.subscribe("pods", lambda verb, obj: modified.append(verb))
+    first = api.mark_pod_for_deletion("a")
+    second = api.mark_pod_for_deletion("a")
+    assert first is second
+    assert modified.count("MODIFIED") == 1  # only the first mark notifies
+
+
+def test_mark_missing_pod_returns_none(api):
+    assert api.mark_pod_for_deletion("ghost") is None
+
+
+def test_bind_deleting_pod_conflicts(api):
+    api.create_pod(pod("a"))
+    api.mark_pod_for_deletion("a")
+    with pytest.raises(ConflictError):
+        api.bind_pod(api.get_pod("a"), "node-1")
+
+
+def test_list_pods_filters(api):
+    learner = pod("learner-0")
+    learner.meta.owner = "uid-x"
+    learner.phase = "Running"
+    learner.node_name = "n1"
+    api.create_pod(learner)
+    api.create_pod(pod("other"))
+    assert [p.name for p in api.list_pods(owner="uid-x")] == ["learner-0"]
+    assert [p.name for p in api.list_pods(phase="Running")] == \
+        ["learner-0"]
+    assert [p.name for p in api.list_pods(node_name="n1")] == \
+        ["learner-0"]
+
+
+def test_pod_phase_counts(api):
+    running = pod("r")
+    running.phase = "Running"
+    api.create_pod(running)
+    api.create_pod(pod("p"))
+    counts = api.pod_phase_counts()
+    assert counts["Running"] == 1
+    assert counts["Pending"] == 1
+
+
+def test_node_store(api):
+    node = Node(meta=ObjectMeta(name="n1"),
+                capacity=NodeCapacity(cpus=8, memory_gb=32))
+    api.create_node(node)
+    assert api.get_node("n1") is node
+    assert api.list_nodes() == [node]

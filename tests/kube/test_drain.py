@@ -1,0 +1,83 @@
+"""Tests for maintenance drains."""
+
+import pytest
+
+from tests.kube.conftest import make_cluster, make_pod
+
+
+def test_drain_evicts_and_cordons():
+    env, cluster = make_cluster(nodes=2)
+    pods = [make_pod(env, f"p{i}", gpus=1, duration=10_000)
+            for i in range(3)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=10)
+    target = pods[0].node_name
+    on_target = [p.name for p in pods if p.node_name == target]
+    evicted = cluster.drain_node(target)
+    assert sorted(evicted) == sorted(on_target)
+    env.run(until=env.now + 30)
+    for name in on_target:
+        assert not cluster.api.exists("pods", name)
+    assert not cluster.api.get_node(target).is_ready
+
+
+def test_drained_node_receives_no_new_pods():
+    env, cluster = make_cluster(nodes=2)
+    names = sorted(cluster.kubelets)
+    cluster.drain_node(names[0])
+    pods = [make_pod(env, f"n{i}", gpus=1) for i in range(3)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert all(p.node_name == names[1] for p in pods)
+
+
+def test_uncordon_after_drain_restores_scheduling():
+    env, cluster = make_cluster(nodes=1)
+    name = sorted(cluster.kubelets)[0]
+    cluster.drain_node(name)
+    pod = make_pod(env, "waiting", gpus=1)
+    cluster.api.create_pod(pod)
+    env.run(until=5)
+    assert pod.phase == "Pending"
+    cluster.uncordon(name)
+    env.run(until=15)
+    assert pod.phase == "Running"
+
+
+def test_drain_releases_resources():
+    env, cluster = make_cluster(nodes=1)
+    pod = make_pod(env, "p", gpus=4, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    cluster.drain_node(pod.node_name)
+    env.run(until=env.now + 30)
+    assert cluster.allocated_gpus() == 0
+
+
+def test_drain_statefulset_pod_moves_to_other_node():
+    from repro.kube import ObjectMeta, PodTemplate, ResourceRequest, \
+        StatefulSet
+    from repro.kube.objects import ContainerSpec
+    from tests.kube.conftest import sleep_workload
+
+    env, cluster = make_cluster(nodes=2)
+    ss = StatefulSet(
+        meta=ObjectMeta(name="svc"), replicas=1,
+        template=PodTemplate(
+            containers=[ContainerSpec("m", "learner:latest",
+                                      sleep_workload(env, 10_000))],
+            resources=ResourceRequest(cpus=1, memory_gb=2, gpus=1,
+                                      gpu_type="K80")),
+        gang=False)
+    cluster.api.create_statefulset(ss)
+    env.run(until=10)
+    original = cluster.api.get_pod("svc-0")
+    drained = original.node_name
+    cluster.drain_node(drained)
+    env.run(until=env.now + 60)
+    replacement = cluster.api.get_pod("svc-0")
+    assert replacement.meta.uid != original.meta.uid
+    assert replacement.node_name != drained
+    assert replacement.phase == "Running"

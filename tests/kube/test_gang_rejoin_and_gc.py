@@ -1,0 +1,99 @@
+"""Regression tests: gang-member replacement rejoin, and terminal-pod GC."""
+
+import pytest
+
+from repro.kube import RUNNING, SUCCEEDED
+
+from tests.kube.conftest import make_cluster, make_pod
+
+
+def test_replacement_gang_member_schedules_among_running_peers():
+    """A gang member lost to a node failure must not wait for peers that
+    are already running (regression: it deadlocked forever)."""
+    from repro.kube import ObjectMeta, PodTemplate, ResourceRequest, \
+        StatefulSet
+    from repro.kube.objects import ContainerSpec
+    from tests.kube.conftest import sleep_workload
+
+    env, cluster = make_cluster(gang=True, nodes=3, gpus_per_node=2,
+                                node_detection_latency_s=5.0,
+                                pod_eviction_timeout_s=5.0)
+    # Each learner needs a whole node's GPUs: the two members are forced
+    # onto different nodes, so a node failure takes exactly one of them.
+    ss = StatefulSet(
+        meta=ObjectMeta(name="jobA"), replicas=2,
+        template=PodTemplate(
+            containers=[ContainerSpec("m", "learner:latest",
+                                      sleep_workload(env, 50_000))],
+            resources=ResourceRequest(cpus=2, memory_gb=8, gpus=2,
+                                      gpu_type="K80"),
+            labels={"type": "learner"}),
+        gang=True)
+    cluster.api.create_statefulset(ss)
+    env.run(until=20)
+    members = [cluster.api.get_pod(f"jobA-{i}") for i in range(2)]
+    assert all(p.phase == RUNNING for p in members)
+    assert members[0].node_name != members[1].node_name
+    dead_node = members[0].node_name
+    cluster.fail_node(dead_node)
+    env.run(until=120)
+    # Member 0 was evicted and recreated; member 1 kept running: the
+    # replacement must schedule without waiting for a full fresh gang.
+    current = [cluster.api.try_get_pod(f"jobA-{i}") for i in range(2)]
+    assert current[1] is not None and current[1].phase == RUNNING
+    assert current[0] is not None and current[0].phase == RUNNING
+    assert current[0].node_name != dead_node
+
+
+def test_terminal_pods_garbage_collected_after_ttl():
+    env, cluster = make_cluster(nodes=1)
+    cluster.terminal_pod_gc_ttl_s = 100.0
+    pod = make_pod(env, "done", gpus=1, duration=10)
+    cluster.api.create_pod(pod)
+    env.run(until=50)
+    assert pod.phase == SUCCEEDED
+    assert cluster.api.exists("pods", "done")
+    env.run(until=200)
+    assert not cluster.api.exists("pods", "done")
+    causes = [c for _t, n, _ty, c in cluster.deletion_log if n == "done"]
+    assert causes == ["gc"]
+
+
+def test_gc_disabled_when_ttl_zero():
+    env, cluster = make_cluster(nodes=1)
+    cluster.terminal_pod_gc_ttl_s = 0
+    pod = make_pod(env, "keeper", gpus=1, duration=10)
+    cluster.api.create_pod(pod)
+    env.run(until=2000)
+    assert cluster.api.exists("pods", "keeper")
+
+
+def test_gc_does_not_collect_reused_name():
+    """GC scheduled for an old pod must not delete its same-named
+    successor."""
+    env, cluster = make_cluster(nodes=1)
+    cluster.terminal_pod_gc_ttl_s = 50.0
+    first = make_pod(env, "reused", gpus=1, duration=10)
+    cluster.api.create_pod(first)
+    env.run(until=30)  # first is terminal; GC armed for t~=80
+    cluster.api.delete_pod("reused")  # removed early (manual)
+    second = make_pod(env, "reused", gpus=1, duration=10_000)
+    cluster.api.create_pod(second)
+    env.run(until=200)
+    # The successor survives the first pod's GC timer.
+    assert cluster.api.exists("pods", "reused")
+    assert cluster.api.get_pod("reused").meta.uid == second.meta.uid
+
+
+def test_eviction_of_terminal_pod_not_counted_as_node_failure():
+    env, cluster = make_cluster(nodes=1, node_detection_latency_s=5.0,
+                                pod_eviction_timeout_s=5.0)
+    cluster.terminal_pod_gc_ttl_s = 10_000.0  # keep terminal pod around
+    done = make_pod(env, "finished", gpus=1, duration=10)
+    cluster.api.create_pod(done)
+    env.run(until=50)
+    assert done.phase == SUCCEEDED
+    cluster.fail_node(sorted(cluster.kubelets)[0])
+    env.run(until=100)
+    causes = {n: c for _t, n, _ty, c in cluster.deletion_log}
+    assert causes.get("finished") == "gc"

@@ -1,0 +1,51 @@
+"""Unit tests for NetworkPolicy semantics (multi-tenant isolation)."""
+
+import pytest
+
+from repro.kube import NetworkPolicy, ObjectMeta, Pod, PodSpec
+
+
+def pod_with_labels(name, **labels):
+    return Pod(meta=ObjectMeta(name=name, labels=labels), spec=PodSpec())
+
+
+@pytest.fixture
+def policy():
+    return NetworkPolicy(
+        meta=ObjectMeta(name="job1-netpol"),
+        pod_selector={"job": "job1"},
+        allowed_peer_labels={"job": "job1"})
+
+
+def test_applies_only_to_selected_pods(policy):
+    mine = pod_with_labels("l0", job="job1", type="learner")
+    other = pod_with_labels("x0", job="job2", type="learner")
+    assert policy.applies_to(mine)
+    assert not policy.applies_to(other)
+
+
+def test_same_job_traffic_allowed(policy):
+    a = pod_with_labels("l0", job="job1")
+    b = pod_with_labels("l1", job="job1")
+    assert policy.allows(a, b)
+    assert policy.allows(b, a)
+
+
+def test_cross_job_traffic_blocked(policy):
+    mine = pod_with_labels("l0", job="job1")
+    intruder = pod_with_labels("x0", job="job2")
+    assert not policy.allows(intruder, mine)
+
+
+def test_policy_ignores_unselected_destination(policy):
+    intruder = pod_with_labels("x0", job="job2")
+    unrelated = pod_with_labels("y0", job="job3")
+    # The policy only guards job1's pods; other traffic is its own
+    # policy's problem.
+    assert policy.allows(intruder, unrelated)
+
+
+def test_unlabelled_pod_cannot_reach_protected_pod(policy):
+    anonymous = pod_with_labels("a0")
+    mine = pod_with_labels("l0", job="job1")
+    assert not policy.allows(anonymous, mine)

@@ -1,0 +1,145 @@
+"""Tests for node failure detection, eviction and recovery."""
+
+import pytest
+
+from repro.kube import (
+    FAILED,
+    NodeCapacity,
+    ObjectMeta,
+    PENDING,
+    PodTemplate,
+    ResourceRequest,
+    RUNNING,
+    StatefulSet,
+)
+from repro.kube.events import EVICTED, NODE_NOT_READY_EVENT
+from repro.kube.objects import ContainerSpec
+
+from tests.kube.conftest import make_cluster, make_pod, sleep_workload
+
+
+def fast_failure_cluster(**kwargs):
+    return make_cluster(node_detection_latency_s=5.0,
+                        pod_eviction_timeout_s=5.0, **kwargs)
+
+
+def test_node_failure_kills_containers_immediately():
+    env, cluster = fast_failure_cluster()
+    pod = make_pod(env, "p1", gpus=1, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    node = pod.node_name
+    cluster.fail_node(node)
+    containers = cluster.kubelets[node].containers_for("p1")
+    assert containers == []  # all containers torn down
+
+
+def test_node_marked_not_ready_after_detection_latency():
+    env, cluster = fast_failure_cluster()
+    name = sorted(cluster.kubelets)[0]
+    cluster.fail_node(name)
+    env.run(until=3)
+    assert cluster.api.get_node(name).condition == "Ready"
+    env.run(until=8)
+    assert cluster.api.get_node(name).condition == "NotReady"
+    assert len(cluster.api.event_log.of_kind(NODE_NOT_READY_EVENT)) == 1
+
+
+def test_pods_evicted_after_timeout():
+    env, cluster = fast_failure_cluster()
+    pod = make_pod(env, "p1", gpus=1, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    node = pod.node_name
+    cluster.fail_node(node)
+    env.run(until=30)
+    assert not cluster.api.exists("pods", "p1")
+    evictions = cluster.api.event_log.of_kind(EVICTED)
+    assert len(evictions) == 1
+    assert evictions[0].object_name == "p1"
+
+
+def test_eviction_releases_resources():
+    env, cluster = fast_failure_cluster(nodes=2)
+    pod = make_pod(env, "p1", gpus=4, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    cluster.fail_node(pod.node_name)
+    env.run(until=30)
+    assert cluster.allocated_gpus() == 0
+
+
+def test_quick_recovery_avoids_eviction():
+    env, cluster = fast_failure_cluster()
+    pod = make_pod(env, "p1", gpus=1, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    node = pod.node_name
+    cluster.fail_node(node)
+    env.run(until=12)  # recover before the 5s detection latency
+    cluster.recover_node(node)
+    env.run(until=40)
+    assert cluster.api.get_node(node).condition == "Ready"
+    # The pod itself was lost (containers died) and deleted on recovery.
+    assert not cluster.api.exists("pods", "p1")
+
+
+def test_statefulset_pod_rescheduled_on_other_node_after_node_failure():
+    env, cluster = fast_failure_cluster(nodes=2)
+    ss = StatefulSet(
+        meta=ObjectMeta(name="learner"), replicas=1,
+        template=PodTemplate(
+            containers=[ContainerSpec("main", "learner:latest",
+                                      sleep_workload(env, 10_000))],
+            resources=ResourceRequest(cpus=1, memory_gb=2, gpus=1,
+                                      gpu_type="K80"),
+            labels={"type": "learner"}),
+        gang=False)
+    cluster.api.create_statefulset(ss)
+    env.run(until=10)
+    original = cluster.api.get_pod("learner-0")
+    failed_node = original.node_name
+    cluster.fail_node(failed_node)
+    env.run(until=60)
+    replacement = cluster.api.get_pod("learner-0")
+    assert replacement.meta.uid != original.meta.uid
+    assert replacement.phase == RUNNING
+    assert replacement.node_name != failed_node
+
+
+def test_failed_node_not_schedulable():
+    env, cluster = fast_failure_cluster(nodes=2)
+    names = sorted(cluster.kubelets)
+    cluster.fail_node(names[0])
+    env.run(until=20)  # NotReady now
+    pods = [make_pod(env, f"p{i}", gpus=1) for i in range(3)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=30)
+    assert all(p.node_name == names[1] for p in pods)
+
+
+def test_recovered_node_schedulable_again():
+    env, cluster = fast_failure_cluster(nodes=1)
+    name = sorted(cluster.kubelets)[0]
+    cluster.fail_node(name)
+    env.run(until=20)
+    pod = make_pod(env, "p1", gpus=1)
+    cluster.api.create_pod(pod)
+    env.run(until=25)
+    assert pod.phase == PENDING
+    cluster.recover_node(name)
+    env.run(until=35)
+    assert pod.phase == RUNNING
+
+
+def test_deletion_log_records_node_failure_cause():
+    env, cluster = fast_failure_cluster()
+    pod = make_pod(env, "p1", gpus=1, duration=10_000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    cluster.fail_node(pod.node_name)
+    env.run(until=30)
+    causes = [cause for _t, name, _type, cause in cluster.deletion_log
+              if name == "p1"]
+    assert causes == ["node-failure"]

@@ -1,0 +1,148 @@
+"""Integration tests: pod creation → scheduling → execution → completion."""
+
+import pytest
+
+from repro.kube import FAILED, PENDING, RUNNING, SUCCEEDED
+
+from tests.kube.conftest import make_cluster, make_pod, sleep_workload
+
+
+def test_pod_scheduled_and_runs_to_success():
+    env, cluster = make_cluster()
+    pod = make_pod(env, "p1", gpus=1, duration=50)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert pod.phase == RUNNING
+    assert pod.node_name is not None
+    assert pod.scheduled_at < pod.started_at
+    env.run(until=100)
+    assert pod.phase == SUCCEEDED
+    assert pod.finished_at == pytest.approx(pod.started_at + 50)
+
+
+def test_resources_released_after_completion():
+    env, cluster = make_cluster(nodes=1)
+    pod = make_pod(env, "p1", gpus=4, duration=10)
+    cluster.api.create_pod(pod)
+    env.run(until=5)
+    assert cluster.allocated_gpus() == 4
+    env.run(until=50)
+    assert cluster.allocated_gpus() == 0
+
+
+def test_pod_queues_when_cluster_full_then_schedules():
+    env, cluster = make_cluster(nodes=1, gpus_per_node=4)
+    first = make_pod(env, "big", gpus=4, duration=30)
+    second = make_pod(env, "waiting", gpus=4, duration=10)
+    cluster.api.create_pod(first)
+    env.run(until=5)
+    cluster.api.create_pod(second)
+    env.run(until=20)
+    assert first.phase == RUNNING
+    assert second.phase == PENDING
+    assert cluster.scheduler.queue_length == 1
+    env.run(until=60)
+    assert second.phase == SUCCEEDED
+    # Queue time visible in timestamps.
+    assert second.scheduled_at >= 30
+
+
+def test_failing_workload_marks_pod_failed():
+    env, cluster = make_cluster()
+    pod = make_pod(env, "crash", duration=5, exit_code=3)
+    cluster.api.create_pod(pod)
+    env.run(until=30)
+    assert pod.phase == FAILED
+    assert pod.termination_reason == "ContainerFailed"
+
+
+def test_restart_on_failure_policy_restarts_container():
+    env, cluster = make_cluster()
+    attempts = []
+
+    def flaky(container):
+        attempts.append(env.now)
+        yield env.timeout(5)
+        return 1 if len(attempts) < 3 else 0
+
+    pod = make_pod(env, "flaky", workload=flaky)
+    pod.spec.restart_policy = "OnFailure"
+    cluster.api.create_pod(pod)
+    env.run(until=100)
+    assert len(attempts) == 3
+    assert pod.phase == SUCCEEDED
+    assert pod.restarts == 2
+
+
+def test_delete_running_pod_tears_it_down():
+    env, cluster = make_cluster()
+    pod = make_pod(env, "victim", gpus=2, duration=1000)
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert pod.phase == RUNNING
+    cluster.delete_pod("victim")
+    env.run(until=20)
+    assert not cluster.api.exists("pods", "victim")
+    assert cluster.allocated_gpus() == 0
+
+
+def test_delete_pending_pod_removes_it():
+    env, cluster = make_cluster(nodes=1, gpus_per_node=1)
+    blocker = make_pod(env, "blocker", gpus=1, duration=1000)
+    queued = make_pod(env, "queued", gpus=1, duration=10)
+    cluster.api.create_pod(blocker)
+    env.run(until=5)
+    cluster.api.create_pod(queued)
+    env.run(until=10)
+    assert queued.phase == PENDING
+    cluster.delete_pod("queued")
+    env.run(until=20)
+    assert not cluster.api.exists("pods", "queued")
+
+
+def test_node_selector_restricts_placement():
+    env, cluster = make_cluster(nodes=2, gpu_type="K80")
+    from repro.kube import NodeCapacity
+    cluster.add_node("special", NodeCapacity(cpus=32, memory_gb=256, gpus=4,
+                                             gpu_type="V100"))
+    pod = make_pod(env, "picky", gpus=1)
+    pod.spec.node_selector = {"gpu-type": "V100"}
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert pod.node_name == "special"
+
+
+def test_gpu_type_request_routes_to_matching_node():
+    env, cluster = make_cluster(nodes=1, gpu_type="K80")
+    from repro.kube import NodeCapacity
+    cluster.add_node("v100-node", NodeCapacity(cpus=32, memory_gb=256,
+                                               gpus=4, gpu_type="V100"))
+    pod = make_pod(env, "v100-job", gpus=2, gpu_type="V100")
+    cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert pod.node_name == "v100-node"
+
+
+def test_cordoned_node_not_used():
+    env, cluster = make_cluster(nodes=2)
+    names = sorted(cluster.kubelets)
+    cluster.cordon(names[0])
+    pods = [make_pod(env, f"p{i}", gpus=1) for i in range(4)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=10)
+    assert all(p.node_name == names[1] for p in pods)
+
+
+def test_pod_with_unbound_pvc_waits():
+    from repro.kube import ObjectMeta, PersistentVolumeClaim
+    env, cluster = make_cluster()
+    pod = make_pod(env, "needs-vol", gpus=1, volume_claims=["my-claim"])
+    cluster.api.create_pod(pod)
+    env.run(until=5)
+    assert pod.phase == PENDING
+    pvc = PersistentVolumeClaim(meta=ObjectMeta(name="my-claim"), bound=True)
+    cluster.api.create_pvc(pvc)
+    cluster.scheduler.kick()
+    env.run(until=10)
+    assert pod.phase == RUNNING

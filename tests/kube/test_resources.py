@@ -1,0 +1,76 @@
+"""Unit tests for resource vectors and node allocation."""
+
+import pytest
+
+from repro.errors import KubeError
+from repro.kube import NodeAllocation, NodeCapacity, ResourceRequest
+
+
+def gpu_node(gpus=4, gpu_type="K80"):
+    return NodeAllocation(NodeCapacity(cpus=32, memory_gb=256, gpus=gpus,
+                                       gpu_type=gpu_type))
+
+
+def test_request_negative_rejected():
+    with pytest.raises(KubeError):
+        ResourceRequest(cpus=-1)
+    with pytest.raises(KubeError):
+        ResourceRequest(gpus=-1)
+
+
+def test_gpu_request_defaults_type_to_any():
+    req = ResourceRequest(gpus=2)
+    assert req.gpu_type == "any"
+
+
+def test_fits_within_capacity():
+    alloc = gpu_node()
+    assert alloc.fits(ResourceRequest(cpus=32, memory_gb=256, gpus=4,
+                                      gpu_type="K80"))
+    assert not alloc.fits(ResourceRequest(cpus=33))
+    assert not alloc.fits(ResourceRequest(memory_gb=257))
+    assert not alloc.fits(ResourceRequest(gpus=5, gpu_type="K80"))
+
+
+def test_gpu_type_mismatch_rejected():
+    alloc = gpu_node(gpu_type="K80")
+    assert not alloc.fits(ResourceRequest(gpus=1, gpu_type="V100"))
+    assert alloc.fits(ResourceRequest(gpus=1, gpu_type="any"))
+    assert alloc.fits(ResourceRequest(gpus=1, gpu_type="K80"))
+
+
+def test_cpu_only_node_rejects_gpu_request():
+    alloc = NodeAllocation(NodeCapacity(cpus=8, memory_gb=32))
+    assert not alloc.fits(ResourceRequest(gpus=1))
+    assert alloc.fits(ResourceRequest(cpus=8))
+
+
+def test_allocate_release_roundtrip():
+    alloc = gpu_node()
+    req = ResourceRequest(cpus=8, memory_gb=48, gpus=2, gpu_type="K80")
+    alloc.allocate(req)
+    assert alloc.free_gpus == 2
+    assert alloc.allocated_gpus == 2
+    assert alloc.gpu_utilization == pytest.approx(0.5)
+    alloc.release(req)
+    assert alloc.free_gpus == 4
+    assert alloc.free_cpus == 32
+
+
+def test_allocate_beyond_capacity_raises():
+    alloc = gpu_node()
+    alloc.allocate(ResourceRequest(gpus=4, gpu_type="K80"))
+    with pytest.raises(KubeError):
+        alloc.allocate(ResourceRequest(gpus=1, gpu_type="K80"))
+
+
+def test_release_clamps_at_capacity():
+    alloc = gpu_node()
+    alloc.release(ResourceRequest(cpus=100, gpus=10, gpu_type="K80"))
+    assert alloc.free_cpus == 32
+    assert alloc.free_gpus == 4
+
+
+def test_gpu_utilization_zero_on_cpu_node():
+    alloc = NodeAllocation(NodeCapacity(cpus=8, memory_gb=32))
+    assert alloc.gpu_utilization == 0.0

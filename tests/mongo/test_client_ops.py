@@ -1,0 +1,68 @@
+"""Coverage for the remaining MongoClient operations."""
+
+import pytest
+
+from repro.mongo import MongoClient, MongoDatabase
+from repro.sim import Environment
+
+
+@pytest.fixture
+def client():
+    env = Environment()
+    return env, MongoClient(env, MongoDatabase())
+
+
+def run(env, gen):
+    return env.run_until_complete(env.process(gen), limit=env.now + 100)
+
+
+def test_update_many_through_client(client):
+    env, mongo = client
+
+    def flow():
+        for i in range(4):
+            yield mongo.insert_one("jobs", {"user": "a", "seq": i})
+        modified = yield mongo.update_many(
+            "jobs", {"user": "a"}, {"$set": {"status": "FAILED"}})
+        count = yield mongo.count("jobs", {"status": "FAILED"})
+        return modified, count
+
+    assert run(env, flow()) == (4, 4)
+
+
+def test_delete_many_through_client(client):
+    env, mongo = client
+
+    def flow():
+        for user in ("a", "a", "b"):
+            yield mongo.insert_one("jobs", {"user": user})
+        deleted = yield mongo.delete_many("jobs", {"user": "a"})
+        remaining = yield mongo.count("jobs")
+        return deleted, remaining
+
+    assert run(env, flow()) == (2, 1)
+
+
+def test_find_with_sort_and_limit_through_client(client):
+    env, mongo = client
+
+    def flow():
+        for i in (3, 1, 2):
+            yield mongo.insert_one("jobs", {"seq": i})
+        top = yield mongo.find("jobs", sort=[("seq", -1)], limit=2)
+        return [doc["seq"] for doc in top]
+
+    assert run(env, flow()) == [3, 2]
+
+
+def test_upsert_through_client(client):
+    env, mongo = client
+
+    def flow():
+        modified = yield mongo.update_one(
+            "state", {"_id": "singleton"},
+            {"$set": {"value": 1}}, upsert=True)
+        doc = yield mongo.find_one("state", {"_id": "singleton"})
+        return modified, doc["value"]
+
+    assert run(env, flow()) == (1, 1)

@@ -1,0 +1,135 @@
+"""Unit tests for the MongoDB collection."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.mongo import Collection
+
+
+@pytest.fixture
+def coll():
+    return Collection("jobs")
+
+
+def test_insert_assigns_id(coll):
+    doc_id = coll.insert_one({"user": "alice"})
+    assert doc_id == "jobs-1"
+    assert coll.get(doc_id)["user"] == "alice"
+
+
+def test_insert_respects_explicit_id(coll):
+    coll.insert_one({"_id": "custom", "x": 1})
+    assert coll.get("custom")["x"] == 1
+
+
+def test_insert_duplicate_id_rejected(coll):
+    coll.insert_one({"_id": "a"})
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"_id": "a"})
+
+
+def test_insert_isolates_caller_document(coll):
+    original = {"user": "alice", "nested": {"a": 1}}
+    doc_id = coll.insert_one(original)
+    original["nested"]["a"] = 999
+    assert coll.get(doc_id)["nested"]["a"] == 1
+
+
+def test_find_returns_copies(coll):
+    coll.insert_one({"_id": "a", "nested": {"x": 1}})
+    found = coll.find_one({"_id": "a"})
+    found["nested"]["x"] = 2
+    assert coll.get("a")["nested"]["x"] == 1
+
+
+def test_find_with_query_sort_limit(coll):
+    for i, user in enumerate(["carol", "alice", "bob", "alice"]):
+        coll.insert_one({"user": user, "seq": i})
+    alices = coll.find({"user": "alice"}, sort=[("seq", -1)], limit=1)
+    assert len(alices) == 1 and alices[0]["seq"] == 3
+
+
+def test_get_missing_raises(coll):
+    with pytest.raises(KeyNotFoundError):
+        coll.get("nope")
+
+
+def test_update_one_modifies_first_match_only(coll):
+    coll.insert_many([{"k": 1, "status": "old"}, {"k": 1, "status": "old"}])
+    assert coll.update_one({"k": 1}, {"$set": {"status": "new"}}) == 1
+    assert coll.count({"status": "new"}) == 1
+
+
+def test_update_many(coll):
+    coll.insert_many([{"k": 1}, {"k": 1}, {"k": 2}])
+    assert coll.update_many({"k": 1}, {"$set": {"seen": True}}) == 2
+    assert coll.count({"seen": True}) == 2
+
+
+def test_update_one_upsert_inserts(coll):
+    modified = coll.update_one({"name": "ghost"},
+                               {"$set": {"status": "NEW"}}, upsert=True)
+    assert modified == 1
+    doc = coll.find_one({"name": "ghost"})
+    assert doc["status"] == "NEW"
+
+
+def test_update_one_no_match_returns_zero(coll):
+    assert coll.update_one({"missing": 1}, {"$set": {"a": 1}}) == 0
+
+
+def test_replace_one(coll):
+    coll.insert_one({"_id": "a", "old": True})
+    assert coll.replace_one({"_id": "a"}, {"fresh": True}) == 1
+    doc = coll.get("a")
+    assert doc == {"_id": "a", "fresh": True}
+
+
+def test_delete_one_and_many(coll):
+    coll.insert_many([{"k": 1}, {"k": 1}, {"k": 2}])
+    assert coll.delete_one({"k": 1}) == 1
+    assert coll.count() == 2
+    assert coll.delete_many({"k": {"$in": [1, 2]}}) == 2
+    assert coll.count() == 0
+
+
+def test_unique_index_blocks_duplicates(coll):
+    coll.create_index("name", unique=True)
+    coll.insert_one({"name": "job-a"})
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"name": "job-a"})
+    coll.insert_one({"name": "job-b"})  # distinct value fine
+    coll.insert_one({"other": 1})  # missing value fine
+
+
+def test_unique_index_on_existing_duplicate_data_rejected(coll):
+    coll.insert_many([{"name": "dup"}, {"name": "dup"}])
+    with pytest.raises(DuplicateKeyError):
+        coll.create_index("name", unique=True)
+
+
+def test_unique_index_checked_on_update(coll):
+    coll.create_index("name", unique=True)
+    coll.insert_one({"_id": "a", "name": "x"})
+    coll.insert_one({"_id": "b", "name": "y"})
+    with pytest.raises(DuplicateKeyError):
+        coll.update_one({"_id": "b"}, {"$set": {"name": "x"}})
+
+
+def test_distinct(coll):
+    coll.insert_many([{"u": "a"}, {"u": "b"}, {"u": "a"}])
+    assert sorted(coll.distinct("u")) == ["a", "b"]
+
+
+def test_count_with_and_without_query(coll):
+    coll.insert_many([{"k": 1}, {"k": 2}])
+    assert coll.count() == 2
+    assert coll.count({"k": 1}) == 1
+
+
+def test_oplog_records_all_writes(coll):
+    coll.insert_one({"_id": "a", "v": 1})
+    coll.update_one({"_id": "a"}, {"$set": {"v": 2}})
+    coll.delete_one({"_id": "a"})
+    ops = [entry[0] for entry in coll.oplog]
+    assert ops == ["insert", "update", "delete"]

@@ -1,0 +1,104 @@
+"""Tests for MongoDB replica-set failover behaviour."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.mongo import MongoClient, MongoDatabase, MongoReplicaSet
+from repro.sim import Environment
+
+
+def make_rs(secondaries=2):
+    env = Environment()
+    rs = MongoReplicaSet(env, secondaries=secondaries)
+    return env, rs
+
+
+def test_writes_replicate_to_secondaries():
+    env, rs = make_rs()
+    rs.collection("jobs").insert_one({"_id": "j1", "status": "RUNNING"})
+    env.run(until=1.0)
+    for member in rs.members:
+        assert member.collection("jobs").find_one({"_id": "j1"}) is not None
+
+
+def test_replication_has_lag():
+    env, rs = make_rs()
+    rs.collection("jobs").insert_one({"_id": "j1"})
+    # Before the replication interval elapses the secondary is empty.
+    assert rs.members[1].collection("jobs").count() == 0
+    env.run(until=1.0)
+    assert rs.members[1].collection("jobs").count() == 1
+
+
+def test_failover_promotes_secondary():
+    env, rs = make_rs()
+    rs.collection("jobs").insert_one({"_id": "j1"})
+    env.run(until=1.0)
+    rs.crash_member(0)
+    assert rs.primary_index != 0
+    # Data survives on the new primary.
+    assert rs.collection("jobs").find_one({"_id": "j1"}) is not None
+
+
+def test_writes_continue_after_failover():
+    env, rs = make_rs()
+    rs.collection("jobs").insert_one({"_id": "before"})
+    env.run(until=1.0)
+    rs.crash_member(0)
+    rs.collection("jobs").insert_one({"_id": "after"})
+    env.run(until=env.now + 1.0)
+    live = [i for i in range(3) if i != 0]
+    for i in live:
+        coll = rs.members[i].collection("jobs")
+        assert coll.count() == 2
+
+
+def test_restarted_member_resyncs():
+    env, rs = make_rs()
+    rs.crash_member(2)
+    rs.collection("jobs").insert_one({"_id": "j1"})
+    env.run(until=1.0)
+    rs.restart_member(2)
+    env.run(until=env.now + 1.0)
+    assert rs.members[2].collection("jobs").count() == 1
+
+
+def test_total_outage_raises():
+    env, rs = make_rs(secondaries=1)
+    rs.crash_member(0)
+    rs.crash_member(1)
+    with pytest.raises(StoreError):
+        _ = rs.primary
+
+
+def test_negative_secondaries_rejected():
+    with pytest.raises(StoreError):
+        MongoReplicaSet(Environment(), secondaries=-1)
+
+
+def test_client_over_database_and_replica_set():
+    env = Environment()
+    for backend in (MongoDatabase(), MongoReplicaSet(env)):
+        client = MongoClient(env, backend)
+
+        def flow():
+            yield client.insert_one("jobs", {"_id": "a", "v": 1})
+            yield client.update_one("jobs", {"_id": "a"},
+                                    {"$set": {"v": 2}})
+            doc = yield client.find_one("jobs", {"_id": "a"})
+            count = yield client.count("jobs")
+            return doc["v"], count
+
+        assert env.run_until_complete(
+            env.process(flow()), limit=env.now + 10) == (2, 1)
+
+
+def test_client_latency_applied():
+    env = Environment()
+    client = MongoClient(env, MongoDatabase(), latency_s=0.02)
+
+    def flow():
+        yield client.insert_one("c", {"x": 1})
+        return env.now
+
+    assert env.run_until_complete(env.process(flow())) == pytest.approx(0.02)

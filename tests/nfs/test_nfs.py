@@ -1,0 +1,163 @@
+"""Tests for the NFS volume and its load-sensitive provisioner."""
+
+import pytest
+
+from repro.errors import ProvisioningError
+from repro.nfs import NFSProvisioner, NFSVolume, VolumePool
+from repro.sim import Environment, RngRegistry
+
+
+def test_volume_write_read_append():
+    vol = NFSVolume("v")
+    vol.write("learner-0/exit", "0")
+    vol.append("learner-0/log", "line1\n")
+    vol.append("learner-0/log", "line2\n")
+    assert vol.read("learner-0/exit") == "0"
+    assert vol.read("learner-0/log") == "line1\nline2\n"
+    assert vol.read("missing") is None
+
+
+def test_volume_listdir_and_delete():
+    vol = NFSVolume("v")
+    vol.write("a/1", "x")
+    vol.write("a/2", "y")
+    vol.write("b/1", "z")
+    assert vol.listdir("a/") == ["a/1", "a/2"]
+    assert vol.delete("a/1")
+    assert not vol.delete("a/1")
+    assert vol.exists("a/2")
+
+
+def test_volume_used_bytes():
+    vol = NFSVolume("v")
+    vol.write("f", "12345")
+    assert vol.used_bytes() == 5
+
+
+def test_released_volume_rejects_io():
+    vol = NFSVolume("v")
+    vol.write("f", "x")
+    vol.release()
+    with pytest.raises(RuntimeError):
+        vol.read("f")
+    with pytest.raises(RuntimeError):
+        vol.write("f", "y")
+
+
+def test_provision_single_volume_base_latency():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), base_latency_s=4.0)
+
+    def flow():
+        vol = yield prov.provision()
+        return vol, env.now
+
+    vol, when = env.run_until_complete(env.process(flow()))
+    assert isinstance(vol, NFSVolume)
+    assert when == pytest.approx(4.0)
+    assert prov.provisioned == 1
+
+
+def test_provision_latency_grows_with_load():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), base_latency_s=4.0,
+                          per_request_penalty_s=2.0)
+    finish_times = []
+
+    def flow():
+        yield prov.provision()
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        env.process(flow())
+    env.run()
+    # First request pays 4s, second 6s, third 8s.
+    assert finish_times == [pytest.approx(4.0), pytest.approx(6.0),
+                            pytest.approx(8.0)]
+
+
+def test_provisioning_fails_under_overload():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), overload_threshold=5,
+                          overload_failure_probability=0.8)
+    outcomes = {"ok": 0, "fail": 0}
+
+    def flow():
+        try:
+            yield prov.provision()
+            outcomes["ok"] += 1
+        except ProvisioningError:
+            outcomes["fail"] += 1
+
+    for _ in range(40):
+        env.process(flow())
+    env.run()
+    assert outcomes["fail"] > 10
+    assert prov.failures == outcomes["fail"]
+
+
+def test_no_failures_below_threshold():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), overload_threshold=10,
+                          overload_failure_probability=1.0)
+    failures = []
+
+    def flow():
+        try:
+            yield prov.provision()
+        except ProvisioningError:
+            failures.append(1)
+
+    for _ in range(5):
+        env.process(flow())
+    env.run()
+    assert not failures
+
+
+def test_pool_acquire_is_fast_when_warm():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), base_latency_s=4.0)
+    pool = VolumePool(env, prov, target_size=3, refill_interval_s=1.0,
+                      acquire_latency_s=0.5)
+    env.run(until=60)  # let the pool fill
+    assert pool.available == 3
+    start = env.now
+
+    def flow():
+        vol = yield pool.acquire()
+        return vol, env.now - start
+
+    vol, elapsed = env.run_until_complete(env.process(flow()))
+    assert isinstance(vol, NFSVolume)
+    assert elapsed == pytest.approx(0.5)
+    assert pool.pool_hits == 1
+
+
+def test_pool_falls_back_to_provisioner_when_empty():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), base_latency_s=4.0)
+    pool = VolumePool(env, prov, target_size=2, refill_interval_s=1000.0)
+    start = env.now
+
+    def flow():
+        yield pool.acquire()
+        return env.now - start
+
+    elapsed = env.run_until_complete(env.process(flow()), limit=500)
+    assert elapsed >= 4.0
+    assert pool.pool_misses == 1
+
+
+def test_pool_refills_over_time():
+    env = Environment()
+    prov = NFSProvisioner(env, RngRegistry(0), base_latency_s=1.0)
+    pool = VolumePool(env, prov, target_size=2, refill_interval_s=5.0)
+    env.run(until=30)
+    assert pool.available == 2
+
+    def flow():
+        yield pool.acquire()
+
+    env.run_until_complete(env.process(flow()), limit=100)
+    env.run(until=env.now + 30)
+    assert pool.available == 2  # refilled

@@ -1,0 +1,136 @@
+"""Tests that the throughput model reproduces the paper's published
+calibration points (Tables 4 and 6) and behaves sanely elsewhere."""
+
+import pytest
+
+from repro.perfmodel import (
+    DGX1_SERVER,
+    INCEPTIONV3_TF,
+    K80,
+    P100,
+    RESNET50_TF,
+    V100,
+    VGG16_CAFFE,
+    VGG16_TF,
+    cpu_scaling,
+    distributed_images_per_sec,
+    gpu_spec,
+    gpu_utilization,
+    images_per_sec,
+    iteration_time_s,
+    model_spec,
+    saturation_threads,
+    streaming_demand_bps,
+)
+
+
+def test_table4_vgg_caffe_p100_v100():
+    """Table 4: VGG-16/Caffe batch 75 -> ~66 img/s (P100), ~107 (V100)."""
+    for threads in (2, 4, 8):
+        p100 = images_per_sec(VGG16_CAFFE, P100, threads, batch_size=75)
+        assert p100 == pytest.approx(66.0, rel=0.03), threads
+    for threads in (2, 8, 16, 28):
+        v100 = images_per_sec(VGG16_CAFFE, V100, threads, batch_size=75)
+        assert v100 == pytest.approx(107.0, rel=0.03), threads
+
+
+def test_table4_caffe_saturates_by_4_threads():
+    t2 = images_per_sec(VGG16_CAFFE, P100, 2)
+    t28 = images_per_sec(VGG16_CAFFE, P100, 28)
+    assert (t28 - t2) / t28 < 0.01
+
+
+def test_table6_tf_v100_throughputs_at_16_threads():
+    """Table 6: Inception ~218, ResNet-50 ~345, VGG-16 ~216 img/s."""
+    assert images_per_sec(INCEPTIONV3_TF, V100, 16, batch_size=128) == \
+        pytest.approx(217.8, rel=0.02)
+    assert images_per_sec(RESNET50_TF, V100, 16, batch_size=128) == \
+        pytest.approx(345.3, rel=0.02)
+    assert images_per_sec(VGG16_TF, V100, 16, batch_size=128) == \
+        pytest.approx(216.2, rel=0.02)
+
+
+def test_table6_inception_benefits_up_to_28_threads():
+    t16 = images_per_sec(INCEPTIONV3_TF, V100, 16)
+    t28 = images_per_sec(INCEPTIONV3_TF, V100, 28)
+    assert t28 > t16
+    assert t28 == pytest.approx(223.6, rel=0.02)
+
+
+def test_table6_gpu_utilizations():
+    assert gpu_utilization(INCEPTIONV3_TF, 16) == pytest.approx(0.868,
+                                                                abs=0.02)
+    assert gpu_utilization(RESNET50_TF, 16) == pytest.approx(0.933,
+                                                             abs=0.02)
+    assert gpu_utilization(VGG16_TF, 16) == pytest.approx(0.987, abs=0.02)
+
+
+def test_gpu_generation_ordering():
+    for model in (VGG16_CAFFE, RESNET50_TF, INCEPTIONV3_TF):
+        k80 = images_per_sec(model, K80, 16)
+        p100 = images_per_sec(model, P100, 16)
+        v100 = images_per_sec(model, V100, 16)
+        assert k80 < p100 < v100
+
+
+def test_multi_gpu_scaling_sublinear():
+    one = images_per_sec(RESNET50_TF, V100, 16, n_gpus=1)
+    two = images_per_sec(RESNET50_TF, V100, 16, n_gpus=2)
+    four = images_per_sec(RESNET50_TF, V100, 16, n_gpus=4)
+    assert one < two < four
+    assert two < 2 * one
+    assert four < 4 * one
+
+
+def test_dgx1_faster_than_pcie():
+    pcie = images_per_sec(VGG16_TF, P100, 16, n_gpus=2)
+    dgx = images_per_sec(VGG16_TF, P100, 16, n_gpus=2, server=DGX1_SERVER)
+    assert dgx > pcie
+
+
+def test_distributed_scaling_with_learner_penalty():
+    single = distributed_images_per_sec(RESNET50_TF, V100, 1, 1, 16)
+    double = distributed_images_per_sec(RESNET50_TF, V100, 2, 1, 16)
+    quad = distributed_images_per_sec(RESNET50_TF, V100, 4, 1, 16)
+    assert single < double < quad
+    assert double / single < 2.0
+    assert quad / single < 4.0
+
+
+def test_iteration_time_consistent_with_throughput():
+    thpt = images_per_sec(RESNET50_TF, V100, 16, batch_size=128)
+    assert iteration_time_s(RESNET50_TF, V100, 16, batch_size=128) == \
+        pytest.approx(128 / thpt)
+
+
+def test_streaming_demand_scales_with_throughput():
+    k80 = streaming_demand_bps(RESNET50_TF, K80, 16)
+    v100 = streaming_demand_bps(RESNET50_TF, V100, 16)
+    assert v100 / k80 == pytest.approx(5.0, rel=0.01)
+
+
+def test_batch_ramp_penalizes_tiny_batches():
+    tiny = images_per_sec(RESNET50_TF, V100, 16, batch_size=1)
+    normal = images_per_sec(RESNET50_TF, V100, 16, batch_size=128)
+    assert tiny < 0.5 * normal
+
+
+def test_saturation_threads_framework_dependent():
+    # Caffe saturates with very few threads; Inception/TF needs many more.
+    assert saturation_threads(VGG16_CAFFE) <= 4
+    assert saturation_threads(INCEPTIONV3_TF) > 16
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        images_per_sec(RESNET50_TF, "TPU", 16)
+    with pytest.raises(ValueError):
+        images_per_sec(RESNET50_TF, V100, 0)
+    with pytest.raises(ValueError):
+        images_per_sec(RESNET50_TF, V100, 16, n_gpus=0)
+    with pytest.raises(ValueError):
+        iteration_time_s(RESNET50_TF, V100, 16, batch_size=-1)
+    with pytest.raises(ValueError):
+        model_spec("alexnet", "tensorflow")
+    with pytest.raises(ValueError):
+        gpu_spec("A100")

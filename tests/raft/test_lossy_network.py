@@ -1,0 +1,54 @@
+"""Raft under a lossy network: progress despite message drops."""
+
+import pytest
+
+from repro.raft import CallbackStateMachine, Network, RaftCluster
+from repro.sim import Environment, RngRegistry
+
+
+def make_lossy_cluster(drop, seed=0):
+    env = Environment()
+    applied = {}
+
+    def factory(node_id):
+        applied[node_id] = []
+        return CallbackStateMachine(
+            lambda i, c, node_id=node_id: applied[node_id].append(c),
+            lambda node_id=node_id: applied[node_id].clear())
+
+    cluster = RaftCluster(env, RngRegistry(seed), factory, size=3)
+    cluster.network.drop_probability = drop
+    return env, cluster, applied
+
+
+@pytest.mark.parametrize("drop", [0.05, 0.15])
+def test_commits_despite_drops(drop):
+    env, cluster, applied = make_lossy_cluster(drop)
+    env.run(until=3.0)
+    for i in range(5):
+        env.run_until_complete(cluster.propose(f"cmd-{i}"),
+                               limit=env.now + 60)
+    env.run(until=env.now + 3.0)
+    live_logs = [applied[n.node_id] for n in cluster.nodes.values()
+                 if not n._crashed]
+    # At least a majority has the full committed sequence.
+    complete = [log for log in live_logs
+                if log[:5] == [f"cmd-{i}" for i in range(5)]]
+    assert len(complete) >= 2
+
+
+def test_leader_emerges_despite_drops():
+    env, cluster, _applied = make_lossy_cluster(0.2, seed=3)
+    env.run(until=10.0)
+    assert cluster.leader() is not None
+
+
+def test_heavy_loss_slows_but_does_not_break_safety():
+    env, cluster, applied = make_lossy_cluster(0.3, seed=1)
+    env.run(until=5.0)
+    env.run_until_complete(cluster.propose("only"), limit=env.now + 120)
+    env.run(until=env.now + 5.0)
+    # Logs agree on the single committed command (prefix property).
+    for node in cluster.nodes.values():
+        log = applied[node.node_id]
+        assert log in ([], ["only"])

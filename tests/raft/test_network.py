@@ -1,0 +1,123 @@
+"""Unit tests for the simulated Raft network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.raft import Network
+from repro.sim import Environment, RngRegistry
+
+
+def make_net(drop=0.0):
+    env = Environment()
+    return env, Network(env, RngRegistry(0), drop_probability=drop)
+
+
+def test_delivers_with_latency():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda src, msg: None)
+    net.register("b", lambda src, msg: got.append((src, msg, env.now)))
+    net.send("a", "b", "hello")
+    env.run()
+    assert len(got) == 1
+    src, msg, when = got[0]
+    assert (src, msg) == ("a", "hello")
+    assert when > 0
+
+
+def test_duplicate_registration_rejected():
+    _env, net = make_net()
+    net.register("a", lambda s, m: None)
+    with pytest.raises(SimulationError):
+        net.register("a", lambda s, m: None)
+
+
+def test_down_node_receives_nothing():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    net.take_down("b")
+    net.send("a", "b", "x")
+    env.run()
+    assert got == []
+    assert net.messages_dropped == 1
+
+
+def test_bring_up_restores_delivery():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    net.take_down("b")
+    net.send("a", "b", "lost")
+    net.bring_up("b")
+    net.send("a", "b", "found")
+    env.run()
+    assert got == ["found"]
+
+
+def test_cut_link_is_bidirectional():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: got.append(("a", m)))
+    net.register("b", lambda s, m: got.append(("b", m)))
+    net.cut("a", "b")
+    net.send("a", "b", "1")
+    net.send("b", "a", "2")
+    env.run()
+    assert got == []
+
+
+def test_heal_restores_link():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    net.cut("a", "b")
+    net.heal("a", "b")
+    net.send("a", "b", "x")
+    env.run()
+    assert got == ["x"]
+
+
+def test_partition_cuts_cross_links_only():
+    env, net = make_net()
+    got = []
+    for node in "abcd":
+        net.register(node, lambda s, m, node=node: got.append((node, m)))
+    net.partition({"a", "b"}, {"c", "d"})
+    net.send("a", "b", "in-group")
+    net.send("a", "c", "cross")
+    env.run()
+    assert got == [("b", "in-group")]
+
+
+def test_message_in_flight_dropped_if_partitioned_mid_flight():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    net.send("a", "b", "x")
+    net.cut("a", "b")  # cut before delivery completes
+    env.run()
+    assert got == []
+
+
+def test_drop_probability_drops_some():
+    env, net = make_net(drop=0.5)
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    for i in range(200):
+        net.send("a", "b", i)
+    env.run()
+    assert 40 < len(got) < 160
+
+
+def test_unknown_destination_counts_as_drop():
+    env, net = make_net()
+    net.register("a", lambda s, m: None)
+    net.send("a", "ghost", "x")
+    env.run()
+    assert net.messages_dropped == 1

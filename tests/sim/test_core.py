@@ -1,0 +1,348 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(5.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [5.0]
+    assert env.now == 5.0
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, label):
+        yield env.timeout(delay)
+        order.append(label)
+
+    env.process(proc(3, "c"))
+    env.process(proc(1, "a"))
+    env.process(proc(2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    for label in "abcd":
+        env.process(proc(label))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+            seen.append(env.now)
+
+    env.process(proc())
+    env.run(until=35)
+    assert seen == [10, 20, 30]
+    assert env.now == 35
+
+
+def test_run_until_in_past_rejected():
+    env = Environment(initial_time=100)
+    with pytest.raises(SimulationError):
+        env.run(until=50)
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    trace = []
+
+    def child():
+        yield env.timeout(4)
+        trace.append("child")
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        trace.append(("parent", value, env.now))
+
+    env.process(parent())
+    env.run()
+    assert trace == ["child", ("parent", 42, 4.0)]
+
+
+def test_yield_already_completed_process():
+    env = Environment()
+    results = []
+
+    def quick():
+        yield env.timeout(1)
+        return "done"
+
+    def waiter(proc):
+        yield env.timeout(10)
+        value = yield proc
+        results.append((env.now, value))
+
+    proc = env.process(quick())
+    env.process(waiter(proc))
+    env.run()
+    assert results == [(10.0, "done")]
+
+
+def test_event_succeed_value_delivered():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    env.process(waiter())
+
+    def trigger():
+        yield env.timeout(2)
+        ev.succeed("payload")
+
+    env.process(trigger())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as err:
+            caught.append(str(err))
+
+    env.process(waiter())
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(trigger())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def waiter():
+        t1 = env.timeout(5, "slow")
+        t2 = env.timeout(2, "fast")
+        yield env.any_of([t1, t2])
+        results.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert results == [2.0]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def waiter():
+        events = [env.timeout(d) for d in (1, 4, 3)]
+        yield env.all_of(events)
+        results.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert results == [4.0]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def waiter():
+        yield env.all_of([])
+        results.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert results == [0.0]
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    trace = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            trace.append(("interrupted", intr.cause, env.now))
+
+    proc = env.process(victim())
+
+    def killer():
+        yield env.timeout(7)
+        proc.interrupt("crash")
+
+    env.process(killer())
+    env.run()
+    assert trace == [("interrupted", "crash", 7.0)]
+
+
+def test_interrupted_process_can_rewait():
+    env = Environment()
+    trace = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            trace.append("hit")
+        yield env.timeout(5)
+        trace.append(env.now)
+
+    proc = env.process(victim())
+
+    def killer():
+        yield env.timeout(3)
+        proc.interrupt()
+
+    env.process(killer())
+    env.run()
+    assert trace == ["hit", 8.0]
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    env = Environment()
+    trace = []
+
+    def victim():
+        try:
+            yield env.timeout(10)
+            trace.append("should-not-happen")
+        except Interrupt:
+            pass
+        yield env.timeout(50)
+        trace.append(env.now)
+
+    proc = env.process(victim())
+
+    def killer():
+        yield env.timeout(1)
+        proc.interrupt()
+
+    env.process(killer())
+    env.run()
+    # The abandoned t=10 timeout must not resume the process early.
+    assert trace == [51.0]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    proc = env.process(victim())
+    env.run()
+    proc.interrupt()  # must not raise
+    assert proc.triggered
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def failing():
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    def parent():
+        try:
+            yield env.process(failing())
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["inner"]
+
+
+def test_run_until_complete_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "ok"
+
+    assert env.run_until_complete(env.process(proc())) == "ok"
+
+
+def test_run_until_complete_raises_on_failure():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise KeyError("nope")
+
+    with pytest.raises(KeyError):
+        env.run_until_complete(env.process(proc()))
+
+
+def test_run_until_complete_detects_deadlock():
+    env = Environment()
+
+    def proc():
+        yield env.event()  # never fires
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run_until_complete(env.process(proc()))
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    env.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)

@@ -1,0 +1,98 @@
+"""Property-based tests for the simulation kernel."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, FairShareLink
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                       min_size=1, max_size=30))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(proc(delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.01, max_value=100.0),
+                       min_size=2, max_size=10))
+def test_all_of_fires_at_max_any_of_at_min(delays):
+    env = Environment()
+    observed = {}
+
+    def waiter():
+        events_all = [env.timeout(d) for d in delays]
+        yield env.all_of(events_all)
+        observed["all"] = env.now
+
+    def any_waiter():
+        events_any = [env.timeout(d) for d in delays]
+        yield env.any_of(events_any)
+        observed["any"] = env.now
+
+    env.process(waiter())
+    env.process(any_waiter())
+    env.run()
+    assert observed["all"] == pytest.approx(max(delays))
+    assert observed["any"] == pytest.approx(min(delays))
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.floats(min_value=1.0, max_value=1e6),
+                      min_size=1, max_size=12),
+       capacity=st.floats(min_value=10.0, max_value=1e5))
+def test_fair_share_conserves_bytes_and_bounds_rate(sizes, capacity):
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=capacity)
+    finish = {}
+
+    def sender(index, size):
+        yield link.transfer(size)
+        finish[index] = env.now
+
+    for i, size in enumerate(sizes):
+        env.process(sender(i, size))
+    env.run(until=1e9)
+    assert len(finish) == len(sizes)
+    # Conservation: all bytes moved.
+    assert link.bytes_transferred == pytest.approx(sum(sizes), rel=1e-6)
+    # Aggregate rate bound: total bytes / makespan <= capacity.
+    makespan = max(finish.values())
+    assert sum(sizes) / makespan <= capacity * (1 + 1e-6)
+    # No transfer beats its solo time.
+    for i, size in enumerate(sizes):
+        assert finish[i] >= size / capacity * (1 - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_fair_share_equal_transfers_finish_together(data):
+    n = data.draw(st.integers(min_value=2, max_value=8))
+    size = data.draw(st.floats(min_value=10.0, max_value=1e5))
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=1000.0)
+    finish = []
+
+    def sender():
+        yield link.transfer(size)
+        finish.append(env.now)
+
+    for _ in range(n):
+        env.process(sender())
+    env.run(until=1e9)
+    assert len(finish) == n
+    assert max(finish) - min(finish) < 1e-6
+    assert max(finish) == pytest.approx(n * size / 1000.0)

@@ -1,0 +1,196 @@
+"""Unit tests for Resource, Store and FairShareLink."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FairShareLink, Resource, Store
+
+
+def test_resource_serializes_access():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    trace = []
+
+    def worker(label, hold):
+        yield res.request()
+        trace.append((label, "in", env.now))
+        yield env.timeout(hold)
+        res.release()
+        trace.append((label, "out", env.now))
+
+    env.process(worker("a", 5))
+    env.process(worker("b", 3))
+    env.run()
+    assert trace == [("a", "in", 0.0), ("a", "out", 5.0),
+                     ("b", "in", 5.0), ("b", "out", 8.0)]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def worker(label):
+        yield res.request()
+        yield env.timeout(4)
+        res.release()
+        done.append((label, env.now))
+
+    for label in "abc":
+        env.process(worker(label))
+    env.run()
+    assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_resource_release_without_acquire():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        yield res.request()
+        yield env.timeout(10)
+        res.release()
+
+    def waiter():
+        yield res.request()
+        res.release()
+
+    env.process(holder())
+    env.process(waiter())
+    env.process(waiter())
+    env.run(until=5)
+    assert res.queue_length == 2
+    env.run()
+    assert res.queue_length == 0
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for i in range(3):
+            yield env.timeout(1)
+            store.put(i)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_before_put_blocks():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    env.process(consumer())
+
+    def producer():
+        yield env.timeout(9)
+        store.put("x")
+
+    env.process(producer())
+    env.run()
+    assert got == [("x", 9.0)]
+
+
+def test_store_len_counts_buffered_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_fair_share_single_transfer_full_rate():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=100.0)
+    times = []
+
+    def sender():
+        yield link.transfer(1000.0)
+        times.append(env.now)
+
+    env.process(sender())
+    env.run(until=100)
+    assert times == [pytest.approx(10.0)]
+
+
+def test_fair_share_two_transfers_halve_rate():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=100.0)
+    times = {}
+
+    def sender(label, size):
+        yield link.transfer(size)
+        times[label] = env.now
+
+    env.process(sender("a", 1000.0))
+    env.process(sender("b", 1000.0))
+    env.run(until=100)
+    # Two equal transfers sharing 100 bps: both finish at 2x the solo time.
+    assert times["a"] == pytest.approx(20.0)
+    assert times["b"] == pytest.approx(20.0)
+
+
+def test_fair_share_late_joiner_slows_first():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=100.0)
+    times = {}
+
+    def sender(label, size, start):
+        yield env.timeout(start)
+        yield link.transfer(size)
+        times[label] = env.now
+
+    env.process(sender("first", 1000.0, 0.0))
+    env.process(sender("second", 1000.0, 5.0))
+    env.run(until=200)
+    # First moves 500 bytes alone in 5s, then shares: 500 left at 50 bps = 10s.
+    assert times["first"] == pytest.approx(15.0)
+    # Second: 10s shared (500 bytes) then 500 bytes alone at 100 bps = 5s.
+    assert times["second"] == pytest.approx(20.0)
+
+
+def test_fair_share_zero_size_completes_immediately():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=10.0)
+    ev = link.transfer(0.0)
+    assert ev.triggered
+
+
+def test_fair_share_rejects_negative_size():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=10.0)
+    with pytest.raises(SimulationError):
+        link.transfer(-5)
+
+
+def test_fair_share_tracks_bytes_transferred():
+    env = Environment()
+    link = FairShareLink(env, capacity_bps=100.0)
+
+    def sender():
+        yield link.transfer(300.0)
+
+    env.process(sender())
+    env.run(until=50)
+    assert link.bytes_transferred == pytest.approx(300.0)

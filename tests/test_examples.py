@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "COMPLETED" in out
+    assert "PROCESSING" in out
+
+
+def test_fault_tolerance_demo(capsys):
+    run_example("fault_tolerance_demo.py")
+    out = capsys.readouterr().out
+    assert "COMPLETED despite all three faults" in out
+
+
+def test_hyperparameter_sweep(capsys):
+    run_example("hyperparameter_sweep.py")
+    out = capsys.readouterr().out
+    assert "HALTED" in out
+    assert "rejected by admission control" in out
+    assert out.count("COMPLETED") >= 3
+
+
+def test_scheduler_comparison(capsys):
+    run_example("scheduler_comparison.py")
+    out = capsys.readouterr().out
+    assert "NO - fragmented" in out
+    assert "gang (BSA)" in out
+
+
+def test_production_trace_study(capsys):
+    run_example("production_trace_study.py", ["5"])
+    out = capsys.readouterr().out
+    assert "fewer with Pack" in out
+
+
+def test_multi_tenant_operations(capsys):
+    run_example("multi_tenant_operations.py")
+    out = capsys.readouterr().out
+    assert "drained" in out
+    assert "priority dispatch order" in out
+    assert "COMPLETED" in out

@@ -1,0 +1,55 @@
+"""Tests for the failure-study workload (short horizon)."""
+
+import pytest
+
+from repro.workloads import FailureStudyConfig, run_failure_study
+
+# One short, shared run (module-scoped for speed).
+_CONFIG = FailureStudyConfig(days=1, jobs_per_day=400, seed=3,
+                             node_crash_mtbf_days=4.0)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_failure_study(_CONFIG)
+
+
+def test_jobs_flow_through(study):
+    assert study.jobs_submitted > 200
+    assert study.jobs_completed > 0
+    assert study.jobs_cancelled > 0
+
+
+def test_node_crashes_recorded(study):
+    assert study.node_crashes >= 1
+
+
+def test_learners_dominate_scheduling_failures(study):
+    fractions = study.failed_type_fractions()
+    assert fractions.get("learner", 0) > 0.5
+
+
+def test_no_nodes_is_leading_reason(study):
+    fractions = study.reason_fractions()
+    leading = max(fractions, key=fractions.get)
+    assert leading == "No nodes available"
+
+
+def test_deletion_percentages_bounded(study):
+    for pct in study.deletion_percent_by_day().values():
+        assert 0.0 <= pct <= 100.0
+
+
+def test_learner_monthly_percentages(study):
+    monthly = study.learner_deletion_percent_by_month(days_per_month=1)
+    assert set(monthly) == {0}
+    assert 0.0 <= monthly[0] <= 100.0
+
+
+def test_study_is_deterministic():
+    a = run_failure_study(FailureStudyConfig(days=1, jobs_per_day=100,
+                                             seed=9))
+    b = run_failure_study(FailureStudyConfig(days=1, jobs_per_day=100,
+                                             seed=9))
+    assert a.jobs_submitted == b.jobs_submitted
+    assert a.failed_pods_by_reason() == b.failed_pods_by_reason()

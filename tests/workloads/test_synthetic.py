@@ -1,0 +1,48 @@
+"""Tests for the Figure 4 synthetic gang workloads."""
+
+import pytest
+
+from repro.analysis import probability_of_zero
+from repro.workloads import GANG_WORKLOADS, run_gang_experiment
+
+
+def test_gang_scheduler_never_deadlocks():
+    """The paper's headline: zero deadlocks and zero idle GPUs in every
+    gang-scheduled run."""
+    for learners, gpus in GANG_WORKLOADS:
+        for seed in range(5):
+            result = run_gang_experiment(learners, gpus, gang=True,
+                                         seed=seed)
+            assert result.deadlocked_learners == 0
+            assert result.idle_gpus == 0
+
+
+def test_gang_scheduler_ideal_split_for_2x1():
+    """2L x 1GPU: demand 100 vs supply 60 -> exactly 30 jobs run."""
+    result = run_gang_experiment(2, 1, gang=True, seed=0)
+    assert result.fully_scheduled_jobs == 30
+    assert result.fully_queued_jobs == 20
+
+
+def test_default_scheduler_deadlocks_sometimes():
+    results = [run_gang_experiment(2, 1, gang=False, seed=s)
+               for s in range(10)]
+    deadlocks = [r.deadlocked_learners for r in results]
+    assert any(d > 0 for d in deadlocks)
+    assert probability_of_zero(deadlocks) < 1.0
+
+
+def test_deadlocked_learners_hold_idle_gpus():
+    for seed in range(10):
+        result = run_gang_experiment(2, 2, gang=False, seed=seed)
+        assert result.idle_gpus == 2 * \
+            result.deadlocked_learners // 1 * 1 or \
+            result.idle_gpus >= result.deadlocked_learners
+        # Every deadlocked learner holds exactly its GPUs.
+        assert result.idle_gpus == result.deadlocked_learners * 2
+
+
+def test_results_deterministic_per_seed():
+    a = run_gang_experiment(4, 1, gang=False, seed=3)
+    b = run_gang_experiment(4, 1, gang=False, seed=3)
+    assert a == b
