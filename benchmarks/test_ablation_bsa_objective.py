@@ -8,7 +8,6 @@ fragmentation that Pack (Section 3.4) exists to prevent — a subsequent
 whole-node job cannot be placed.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.docker import Image

@@ -10,7 +10,6 @@ read from local disk; without it, every epoch re-streams the dataset over
 the shared link.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import FfDLPlatform, JobManifest, PlatformConfig

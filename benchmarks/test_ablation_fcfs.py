@@ -9,7 +9,6 @@ usually highest-value) job wins the tiebreak instead of being nibbled out
 of capacity by small jobs.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.kube import Cluster, NodeCapacity, SchedulerConfig

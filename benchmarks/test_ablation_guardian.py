@@ -13,7 +13,6 @@ semantics) the job is dead, and the half-deployed objects are the zombies
 the paper warns about.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import FfDLPlatform, JobManifest, PlatformConfig

@@ -9,7 +9,6 @@ with PM, a light user's occasional job no longer queues behind a heavy
 user's backlog.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core.priority import PriorityManager

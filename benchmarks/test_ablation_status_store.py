@@ -12,7 +12,6 @@ the write latency plus half the polling interval — an order of magnitude
 worse even with aggressive 200ms polling.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.etcd import EtcdClient, EtcdStore

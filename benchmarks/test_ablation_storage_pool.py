@@ -12,7 +12,6 @@ behaviour once drained, which is the operational complexity trap the
 paper describes.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.errors import ProvisioningError

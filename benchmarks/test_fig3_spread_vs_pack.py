@@ -14,7 +14,6 @@ Spread and Pack to schedule these jobs").  Trace length is configurable;
 
 import os
 
-import pytest
 
 from repro.analysis import compare_policies, print_table
 from repro.sim import RngRegistry

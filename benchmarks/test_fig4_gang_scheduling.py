@@ -8,7 +8,6 @@ time without gang scheduling, idle GPUs reach 46%, and with gang
 scheduling both are zero in every run.
 """
 
-import pytest
 
 from repro.analysis import empirical_cdf, print_table, probability_of_zero
 from repro.workloads import GANG_WORKLOADS, run_gang_experiment

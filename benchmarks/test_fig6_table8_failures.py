@@ -19,7 +19,6 @@ learner / lhelper / jobmonitor.
 
 import os
 
-import pytest
 
 from repro.analysis import print_table
 from repro.kube.events import (

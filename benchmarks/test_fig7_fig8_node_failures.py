@@ -14,7 +14,6 @@ by cause from the cluster's deletion log.
 
 import os
 
-import pytest
 
 from repro.analysis import print_table
 from repro.workloads import FailureStudyConfig, run_failure_study

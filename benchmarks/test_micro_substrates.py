@@ -6,16 +6,15 @@ useful when extending the library, since experiment wall-clock time is
 dominated by kernel event throughput.
 """
 
-import pytest
 
+from repro.docker import Image
 from repro.etcd import EtcdStore
 from repro.kube import Cluster, NodeCapacity, SchedulerConfig
 from repro.kube.objects import ContainerSpec, ObjectMeta, Pod, PodSpec
 from repro.kube.resources import ResourceRequest
 from repro.mongo import Collection
-from repro.raft import RaftCluster, CallbackStateMachine
+from repro.raft import CallbackStateMachine, RaftCluster
 from repro.sim import Environment, RngRegistry
-from repro.docker import Image
 
 
 def test_kernel_event_throughput(benchmark):

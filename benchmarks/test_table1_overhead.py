@@ -10,7 +10,6 @@ mount driver).  Throughput is measured as images/s over the PROCESSING
 phase, exactly as the paper quantifies it.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import FfDLPlatform, JobManifest, PlatformConfig

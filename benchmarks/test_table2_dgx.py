@@ -6,7 +6,6 @@ growing with GPU count and largest for VGG-16 — despite DGX-1's 2-3x cost.
 
 import random
 
-import pytest
 
 from repro.analysis import print_table
 from repro.perfmodel import (

@@ -10,10 +10,9 @@ job components, replica kill for microservices) and the time until the
 replacement is serving again is measured on the simulated cluster.
 """
 
-import pytest
 
 from repro.analysis import print_table
-from repro.core import FfDLPlatform, JobManifest, PlatformConfig
+from repro.core import FfDLPlatform, JobManifest
 from repro.core import statuses as st
 from repro.sim import Environment, RngRegistry
 

@@ -8,7 +8,6 @@ then verifies the derivation lands near the published sizes and that the
 published sizes do saturate every calibrated model.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import TSHIRT_SIZES, derive_cpus

@@ -13,7 +13,6 @@ Reproduction runs at a configurable linear scale (default 0.1: 68 GPUs,
 
 import os
 
-import pytest
 
 from repro.analysis import print_table
 from repro.workloads import (

@@ -10,13 +10,8 @@ Run with:  python examples/scheduler_comparison.py
 """
 
 from repro.analysis import print_table
-from repro.workloads.synthetic import (
-    build_cluster,
-    measure_run,
-    run_gang_experiment,
-    submit_gang_jobs,
-)
 from repro.sim import Environment, RngRegistry
+from repro.workloads.synthetic import run_gang_experiment
 
 
 def fragmentation_demo():

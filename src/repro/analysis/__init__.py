@@ -6,6 +6,7 @@ from repro.analysis.cdf import (
     probability_of_zero,
     quantile,
 )
+from repro.analysis.report import build_report, quick_report
 from repro.analysis.schedreplay import (
     NodeSpec,
     PRODUCTION_NODES,
@@ -14,7 +15,6 @@ from repro.analysis.schedreplay import (
     ReplayResult,
     compare_policies,
 )
-from repro.analysis.report import build_report, quick_report
 from repro.analysis.tables import format_table, print_table
 
 __all__ = [

@@ -115,10 +115,28 @@ def fig3_section(days: int = 10) -> Section:
             ["policy", "delayed jobs"], rows)
 
 
+def staticcheck_section() -> Section:
+    """Findings of the determinism & safety analyzer over the tree.
+
+    A clean row means every reproduced table rests on a replayable
+    simulation; any finding here invalidates the experiment numbers
+    before they are even generated.
+    """
+    from repro.staticcheck import analyze_tree
+
+    findings, suppressed = analyze_tree()
+    rows: List[Sequence[object]] = [
+        [f.code, f.location, f.message] for f in findings]
+    if not rows:
+        rows = [["-", "-", f"clean ({len(suppressed)} suppressed)"]]
+    return ("Static analysis: determinism & safety",
+            ["code", "location", "message"], rows)
+
+
 #: Fast default sections (seconds of wall-clock time).
 QUICK_SECTIONS: Tuple[Callable[[], Section], ...] = (
     table2_section, table4_section, table5_section, table6_section,
-    fig4_section, fig3_section,
+    fig4_section, fig3_section, staticcheck_section,
 )
 
 

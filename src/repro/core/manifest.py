@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.tshirt import TSHIRT_SIZES, recommend
 from repro.errors import ValidationError
 from repro.perfmodel.gpus import GPU_TYPES
 from repro.perfmodel.models import FRAMEWORKS, MODEL_SPECS
-from repro.core.tshirt import TSHIRT_SIZES, recommend
 
 
 @dataclass

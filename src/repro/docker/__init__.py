@@ -5,8 +5,8 @@ from repro.docker.runtime import (
     Container,
     EXITED,
     Image,
-    Registry,
     RUNNING,
+    Registry,
 )
 
 __all__ = ["CREATED", "Container", "EXITED", "Image", "Registry", "RUNNING"]

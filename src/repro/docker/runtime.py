@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import ContainerError, ImageNotFoundError
-from repro.sim.core import Environment, Event, Process
+from repro.sim.core import Environment, Event, Interrupt, Process
 
 CREATED = "created"
 RUNNING = "running"
@@ -118,6 +118,11 @@ class Container:
     def _run(self):
         try:
             result = yield self._workload_process
+        except Interrupt:
+            # Crash injection against the container itself: record the
+            # kill and re-raise — the Interrupt must stay observable.
+            self._finish(SIGKILL_EXIT_CODE)
+            raise
         except Exception as err:  # noqa: BLE001 - user workload crash
             self.log(f"workload crashed: {err!r}")
             self._finish(1)

@@ -15,6 +15,10 @@ class SimulationError(ReproError):
     """Raised when the discrete-event kernel is misused."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant checker observed a safety violation."""
+
+
 class ConsensusError(ReproError):
     """Raised by the Raft implementation on protocol violations."""
 

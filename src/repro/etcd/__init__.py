@@ -9,8 +9,8 @@ from repro.etcd.kv import (
     Lease,
     Op,
     PUT,
-    Watcher,
     WatchEvent,
+    Watcher,
 )
 from repro.etcd.replicated import ReplicatedEtcd
 

@@ -10,19 +10,19 @@ from repro.kube.objects import (
     KubeJob,
     NetworkPolicy,
     Node,
+    ObjectMeta,
     PENDING,
     PersistentVolumeClaim,
     Pod,
     PodSpec,
     PodTemplate,
-    ObjectMeta,
-    ReplicaSet,
     RESTART_ALWAYS,
     RESTART_NEVER,
     RESTART_ON_FAILURE,
     RUNNING,
-    StatefulSet,
+    ReplicaSet,
     SUCCEEDED,
+    StatefulSet,
 )
 from repro.kube.resources import NodeAllocation, NodeCapacity, ResourceRequest
 from repro.kube.scheduling import PACK, SPREAD, Scheduler, SchedulerConfig

@@ -21,10 +21,10 @@ from repro.kube.objects import (
     PENDING,
     PersistentVolumeClaim,
     Pod,
-    ReplicaSet,
     RUNNING,
-    StatefulSet,
+    ReplicaSet,
     SUCCEEDED,
+    StatefulSet,
 )
 from repro.sim.core import Environment
 

@@ -22,12 +22,12 @@ from repro.kube.events import EVICTED, KubeEvent, NODE_NOT_READY_EVENT
 from repro.kube.objects import (
     FAILED,
     KubeJob,
-    Node,
     NODE_NOT_READY,
     NODE_READY,
+    Node,
     Pod,
-    StatefulSet,
     SUCCEEDED,
+    StatefulSet,
 )
 from repro.sim.core import Environment
 

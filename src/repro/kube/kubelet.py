@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.docker import Container, EXITED, Registry
+from repro.errors import ImageNotFoundError
 from repro.kube.api import KubeAPI, MODIFIED
 from repro.kube.events import KILLED, KubeEvent, STARTED
 from repro.kube.objects import (
@@ -24,7 +25,7 @@ from repro.kube.objects import (
     RUNNING,
     SUCCEEDED,
 )
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Interrupt, Process
 
 #: Extra startup latency components per pod (seconds): mounting volumes and
 #: credentials.  Learners bind object storage + NFS, which the paper reports
@@ -51,6 +52,9 @@ class Kubelet:
         #: Containers keyed by pod uid (names are reused by
         #: StatefulSets; uids are unique).
         self._pod_containers: Dict[str, List[Container]] = {}
+        #: The live lifecycle process (setup or monitor) per pod uid, so
+        #: crash injection can interrupt a pod mid-image-pull.
+        self._pod_processes: Dict[str, Process] = {}
         api.subscribe("pods", self._on_pod_change)
 
     # -- watch handlers --------------------------------------------------------
@@ -66,12 +70,24 @@ class Kubelet:
         if pod.phase == PENDING and pod.meta.uid not in self._pod_containers \
                 and not pod.meta.deletion_requested:
             self._pod_containers[pod.meta.uid] = []
-            self.env.process(self._run_pod(pod),
-                             name=f"kubelet:{self.node.name}:{pod.name}")
+            self._pod_processes[pod.meta.uid] = self.env.process(
+                self._run_pod(pod),
+                name=f"kubelet:{self.node.name}:{pod.name}")
 
     # -- pod lifecycle -----------------------------------------------------------
 
     def _run_pod(self, pod: Pod):
+        try:
+            yield from self._setup_pod(pod)
+        except Interrupt:
+            # Crash injection: mark the pod failed (it must not linger in
+            # Pending) and re-raise so the injected kill stays visible to
+            # the kernel instead of being swallowed.
+            self._kill_pod(pod)
+            self._finish_pod(pod, FAILED, "Interrupted")
+            raise
+
+    def _setup_pod(self, pod: Pod):
         setup_s = float(pod.meta.annotations.get("pod-setup-seconds",
                                                  DEFAULT_POD_SETUP_S))
         yield self.env.timeout(setup_s)
@@ -81,7 +97,7 @@ class Kubelet:
         for cspec in pod.spec.containers:
             try:
                 yield self.registry.pull(self.node.name, cspec.image)
-            except Exception:  # noqa: BLE001 - missing image fails the pod
+            except ImageNotFoundError:
                 self._finish_pod(pod, FAILED, "ImagePullError")
                 return
             if not self.alive or pod.meta.deletion_requested:
@@ -100,11 +116,22 @@ class Kubelet:
         self.api.record_event(KubeEvent(self.env.now, STARTED, "Pod",
                                         pod.name,
                                         pod_type=pod.meta.labels.get("type")))
-        self.env.process(self._monitor_pod(pod),
-                         name=f"podmon:{self.node.name}:{pod.name}")
+        self._pod_processes[pod.meta.uid] = self.env.process(
+            self._monitor_pod(pod),
+            name=f"podmon:{self.node.name}:{pod.name}")
 
     def _monitor_pod(self, pod: Pod):
         """Wait for container exits; apply the restart policy."""
+        try:
+            yield from self._watch_containers(pod)
+        except Interrupt:
+            # Crash injection against a running pod: the containers die
+            # with it, the pod fails, and the Interrupt propagates.
+            self._kill_pod(pod)
+            self._finish_pod(pod, FAILED, "Interrupted")
+            raise
+
+    def _watch_containers(self, pod: Pod):
         while self.alive and not pod.meta.deletion_requested:
             containers = self._pod_containers.get(pod.meta.uid)
             if not containers:
@@ -159,15 +186,34 @@ class Kubelet:
             pod.restarts += 1
         self.api.update_pod(pod)
 
+    def _kill_pod(self, pod: Pod) -> None:
+        for container in self._pod_containers.get(pod.meta.uid) or []:
+            container.kill()
+
+    def interrupt_pod(self, pod: Pod, cause: str = "crash") -> bool:
+        """Inject a crash into the pod's live lifecycle process.
+
+        Interrupts whichever process currently owns the pod (image pull /
+        setup or container monitoring).  Returns ``False`` when the pod
+        has no live process on this node.
+        """
+        process = self._pod_processes.get(pod.meta.uid)
+        if process is None or not process.is_alive:
+            return False
+        process.interrupt(cause)
+        return True
+
     def _finish_pod(self, pod: Pod, phase: str,
                     reason: Optional[str]) -> None:
         self._pod_containers.pop(pod.meta.uid, None)
+        self._pod_processes.pop(pod.meta.uid, None)
         pod.finished_at = self.env.now
         self._set_phase(pod, phase, reason)
         if self.on_pod_terminal is not None:
             self.on_pod_terminal(pod, phase)
 
     def _teardown(self, pod: Pod, reason: str) -> None:
+        self._pod_processes.pop(pod.meta.uid, None)
         containers = self._pod_containers.pop(pod.meta.uid, None)
         if containers:
             for container in containers:
@@ -199,6 +245,7 @@ class Kubelet:
             for container in containers:
                 container.kill()
         self._pod_containers.clear()
+        self._pod_processes.clear()
 
     def recover(self) -> None:
         self.alive = True

@@ -1,6 +1,6 @@
 """NFS substrate: shared volumes and the (slow, failure-prone) provisioner."""
 
-from repro.nfs.volume import NFSVolume
 from repro.nfs.provisioner import NFSProvisioner, VolumePool
+from repro.nfs.volume import NFSVolume
 
 __all__ = ["NFSProvisioner", "NFSVolume", "VolumePool"]

@@ -43,6 +43,12 @@ class RaftCluster:
                 election_timeout_s=election_timeout_s,
                 heartbeat_interval_s=heartbeat_interval_s)
 
+    def attach_tracer(self, tracer: Any) -> None:
+        """Install an invariant tracer (e.g. staticcheck's
+        RaftInvariantChecker) on every node of the group."""
+        for node in self.nodes.values():
+            node.tracer = tracer
+
     # -- queries ---------------------------------------------------------------
 
     def leader(self) -> Optional[RaftNode]:

@@ -102,6 +102,9 @@ class RaftNode:
         self._reset_event: Optional[Event] = None
         self._pending: Dict[int, Event] = {}  # raft index -> proposal event
         self.apply_results: Dict[int, Any] = {}
+        #: Optional invariant tracer (e.g. staticcheck's
+        #: RaftInvariantChecker): notified on elections and applies.
+        self.tracer: Optional[Any] = None
 
         network.register(node_id, self._on_message)
         self._ticker = env.process(self._run(), name=f"raft:{node_id}")
@@ -192,6 +195,8 @@ class RaftNode:
             self.next_index[peer] = self.last_log_index + 1
             self.match_index[peer] = 0
         self.match_index[self.node_id] = self.last_log_index
+        if self.tracer is not None:
+            self.tracer.on_leader_elected(self)
         self._broadcast_entries()
         self._kick_timer()
 
@@ -353,6 +358,8 @@ class RaftNode:
             result = self.state_machine.apply(self.last_applied,
                                               entry.command)
             self.apply_results[self.last_applied] = result
+            if self.tracer is not None:
+                self.tracer.on_apply(self, self.last_applied, entry)
             pending = self._pending.pop(self.last_applied, None)
             if pending is not None and not pending.triggered:
                 if entry.term == self.current_term and self.state == LEADER:

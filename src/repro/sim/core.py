@@ -219,8 +219,10 @@ class Process(Event):
                 return
         except StopIteration as stop:
             self.succeed(stop.value)
-        except Interrupt as intr:
+        except Interrupt as intr:  # staticcheck: ignore[SAF001] kernel edge
             # Interrupt escaped the generator: treat as normal termination.
+            # This is the one place an Interrupt may stop propagating — the
+            # process it targeted no longer exists past this point.
             self.succeed(intr.cause)
         except BaseException as err:  # noqa: BLE001 - propagate via event
             if self.callbacks or True:

@@ -1,0 +1,14 @@
+"""``python -m repro.staticcheck`` — run the analyzer from the shell.
+
+Exit codes: ``0`` when clean (always, without ``--strict``); with
+``--strict`` any unsuppressed finding exits ``1``, which is what CI runs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.staticcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

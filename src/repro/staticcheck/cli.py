@@ -1,0 +1,84 @@
+"""Command-line driver for the static analyzer.
+
+Usage::
+
+    python -m repro.staticcheck                  # report, always exit 0
+    python -m repro.staticcheck --strict         # CI: exit 1 on findings
+    python -m repro.staticcheck --format md      # Markdown findings table
+    python -m repro.staticcheck --list-rules     # print the rule catalog
+    python -m repro.staticcheck path/to/file.py  # analyze specific paths
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.staticcheck.engine import analyze_paths, default_target
+from repro.staticcheck.findings import Finding, RULE_CATALOG
+
+
+def render_text(findings: List[Finding],
+                suppressed: List[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    lines.append(f"{len(findings)} finding(s), "
+                 f"{len(suppressed)} suppressed")
+    return "\n".join(lines)
+
+
+def render_markdown(findings: List[Finding],
+                    suppressed: List[Finding]) -> str:
+    from repro.analysis.tables import format_table
+
+    rows = [[f.code, f.location, f.message] for f in findings] or \
+        [["-", "-", "no findings"]]
+    table = format_table(
+        ["code", "location", "message"], rows,
+        title="## staticcheck findings")
+    return (f"{table}\n\n{len(findings)} finding(s), "
+            f"{len(suppressed)} suppressed")
+
+
+def render_rules() -> str:
+    width = max(len(code) for code in RULE_CATALOG)
+    return "\n".join(f"{code:<{width}}  {description}"
+                     for code, description in sorted(RULE_CATALOG.items()))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description="determinism & safety analyzer for the simulation "
+                    "substrate")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any unsuppressed finding "
+                             "remains")
+    parser.add_argument("--format", choices=("text", "md"),
+                        default="text", help="findings report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    targets = [Path(p) for p in args.paths] or [default_target()]
+    for target in targets:
+        if not target.exists():
+            parser.error(f"no such file or directory: {target}")
+    findings, suppressed = analyze_paths(targets)
+    if args.format == "md":
+        print(render_markdown(findings, suppressed))
+    else:
+        print(render_text(findings, suppressed))
+    if args.strict and findings:
+        return 1
+    return 0

@@ -1,0 +1,138 @@
+"""Analysis driver: file discovery, suppressions, and rule dispatch.
+
+Suppression syntax (one per line, reason mandatory)::
+
+    risky()  # staticcheck: ignore[DET001] replay-safe because ...
+    bad()    # staticcheck: ignore[DET001,SAF001] shared fixture shim
+
+A suppression with no reason is inert *and* reported as ``SUP001`` — an
+unexplained suppression is exactly the kind of silent drift this tool
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.staticcheck.findings import Finding, RULE_CATALOG
+from repro.staticcheck.rules import ALL_RULES, build_import_map
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
+
+
+@dataclass
+class AnalysisContext:
+    """Per-module state shared by every rule."""
+
+    tree: ast.Module
+    display_path: str
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: Set[str]
+    reason: str
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    suppressions = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip().upper()
+                 for code in match.group(1).split(",") if code.strip()}
+        suppressions.append(
+            Suppression(lineno, codes, match.group(2).strip()))
+    return suppressions
+
+
+def analyze_source(source: str, display_path: str = "<string>",
+                   rules: Sequence = ALL_RULES,
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over one module's source.
+
+    Returns ``(findings, suppressed)``: the first list is what should
+    fail a build, the second what valid suppressions silenced.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return ([Finding("SYNTAX", display_path, err.lineno or 0,
+                         f"cannot parse: {err.msg}")], [])
+    ctx = AnalysisContext(tree=tree, display_path=display_path,
+                          imports=build_import_map(tree))
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(source)
+    by_line: Dict[int, Suppression] = {s.line: s for s in suppressions}
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        suppression = by_line.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes \
+                and suppression.reason:
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    for suppression in suppressions:
+        if not suppression.reason:
+            findings.append(Finding(
+                "SUP001", display_path, suppression.line,
+                RULE_CATALOG["SUP001"]))
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """All ``.py`` files under ``root`` in a stable order."""
+    if root.is_file():
+        return [root]
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def _display(path: Path) -> str:
+    """Repo-relative posix path when possible, else the path as given."""
+    text = path.as_posix()
+    marker = "src/repro/"
+    index = text.rfind(marker)
+    return text[index:] if index >= 0 else text
+
+
+def analyze_paths(paths: Iterable[Path], rules: Sequence = ALL_RULES,
+                  ) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze every Python file under each of ``paths``."""
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for root in paths:
+        for path in iter_python_files(Path(root)):
+            got, hidden = analyze_source(
+                path.read_text(encoding="utf-8"), _display(path), rules)
+            findings.extend(got)
+            suppressed.extend(hidden)
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def default_target() -> Path:
+    """The ``src/repro`` tree this installation runs from."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def analyze_tree(root: Path = None,
+                 ) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze the whole package (or ``root``) with every rule."""
+    return analyze_paths([root if root is not None else default_target()])

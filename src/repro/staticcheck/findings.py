@@ -1,0 +1,48 @@
+"""Finding records and the rule catalog.
+
+Each static rule has a stable code (``DET*`` for determinism hazards,
+``SAF*`` for crash-injection safety, ``SUP*`` for suppression hygiene).
+The catalog below is the single source of truth used by ``--list-rules``,
+the documentation, and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: code -> one-line description.  Keep in sync with the rule classes in
+#: :mod:`repro.staticcheck.rules` (the tests assert the mapping).
+RULE_CATALOG = {
+    "DET001": ("wall-clock read (time.time / datetime.now / ...) in "
+               "simulation-driven code; use Environment.now"),
+    "DET002": ("draw from the global random module (or unseeded "
+               "random.Random()); use RngRegistry streams"),
+    "DET003": ("iteration over an unordered set expression; wrap in "
+               "sorted(...) before the order can reach the event queue"),
+    "SAF001": ("broad exception handler can swallow sim.core.Interrupt; "
+               "catch Interrupt first and re-raise it"),
+    "SAF002": ("simulation process generator yields a non-Event literal; "
+               "processes may only yield Event subclasses"),
+    "SUP001": ("staticcheck suppression without a reason; write "
+               "# staticcheck: ignore[CODE] <why it is safe>"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.code} {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code)

@@ -1,12 +1,11 @@
 """Tests for the programmatic report builder."""
 
-import pytest
-
 from repro.analysis.report import (
     build_report,
     fig3_section,
     fig4_section,
     quick_report,
+    staticcheck_section,
     table2_section,
     table4_section,
     table5_section,
@@ -42,6 +41,13 @@ def test_quick_report_renders_markdown():
     assert report.startswith("# FfDL reproduction report")
     assert "## Table 5" in report
     assert "## Figure 4" in report
+
+
+def test_staticcheck_section_reports_clean_tree():
+    title, headers, rows = staticcheck_section()
+    assert "Static analysis" in title
+    assert len(rows) == 1
+    assert "clean" in rows[0][2]
 
 
 def test_build_report_custom_subset():

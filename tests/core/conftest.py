@@ -1,8 +1,7 @@
 """Shared fixtures for FfDL core tests."""
 
-import pytest
 
-from repro.core import FfDLPlatform, JobManifest, PlatformConfig
+from repro.core import FfDLPlatform, JobManifest
 from repro.sim import Environment, RngRegistry
 
 

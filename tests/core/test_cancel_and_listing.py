@@ -1,6 +1,5 @@
 """Tests for user-driven cancel and job listing."""
 
-import pytest
 
 from repro.core import statuses as st
 

@@ -4,7 +4,6 @@ The entire point of the discrete-event substrate is exact replayability —
 every benchmark number in EXPERIMENTS.md must reproduce bit-for-bit.
 """
 
-import pytest
 
 from repro.core import PlatformConfig, statuses as st
 

@@ -6,7 +6,6 @@ recovery, stateful-set rescheduling after node failure, and status
 updates that survive component crashes.
 """
 
-import pytest
 
 from repro.core import PlatformConfig, statuses as st
 

@@ -1,13 +1,12 @@
 """Unit tests for the Guardian's status aggregation logic."""
 
-import pytest
 
 from repro.core import statuses as st
 from repro.core.guardian import _aggregate
 from repro.core.helper import learner_exit_key, learner_status_key
+from repro.core.job import TrainingJob
 
 from tests.core.conftest import make_manifest, make_platform
-from repro.core.job import TrainingJob
 
 
 def setup(learners=2):

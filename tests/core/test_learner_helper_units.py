@@ -1,6 +1,5 @@
 """Unit tests for learner checkpoint mechanics and the helper containers."""
 
-import pytest
 
 from repro.core.helper import (
     ControllerState,
@@ -8,10 +7,7 @@ from repro.core.helper import (
     make_log_collector_workload,
 )
 from repro.core.learner import (
-    LearnerContext,
-    LearnerState,
-    checkpoint_key,
-    find_latest_checkpoint,
+    LearnerContext, checkpoint_key, find_latest_checkpoint,
 )
 from repro.core.logging_service import LogIndex
 from repro.core.manifest import JobManifest

@@ -4,7 +4,6 @@
 in, even if it crashes/fails.  This is key for users to debug their jobs."
 """
 
-import pytest
 
 from repro.core import statuses as st
 

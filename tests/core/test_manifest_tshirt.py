@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import JobManifest, TSHIRT_SIZES, derive_cpus, recommend
+from repro.core import TSHIRT_SIZES, derive_cpus, recommend
 from repro.core.tshirt import memory_gb
 from repro.errors import ValidationError
 

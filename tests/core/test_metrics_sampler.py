@@ -1,6 +1,5 @@
 """Tests for the cluster utilization sampler."""
 
-import pytest
 
 from tests.core.conftest import make_manifest, make_platform, submit
 

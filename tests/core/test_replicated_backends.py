@@ -5,7 +5,6 @@ availability."  These tests run full training jobs against the replicated
 backends and crash replicas mid-flight.
 """
 
-import pytest
 
 from repro.core import PlatformConfig, statuses as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.docker import CREATED, Container, EXITED, Image, Registry, RUNNING
+from repro.docker import CREATED, Container, EXITED, Image, RUNNING, Registry
 from repro.docker.runtime import SIGKILL_EXIT_CODE
 from repro.errors import ContainerError, ImageNotFoundError
 from repro.sim import Environment

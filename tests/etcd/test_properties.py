@@ -1,6 +1,5 @@
 """Property-based tests for etcd store invariants."""
 
-import pytest
 
 from hypothesis import given, settings, strategies as st
 

@@ -1,17 +1,16 @@
 """Tests for ReplicaSet / StatefulSet / Job / Deployment controllers."""
 
-import pytest
 
 from repro.kube import (
     Deployment,
     KubeJob,
     ObjectMeta,
     PodTemplate,
+    RUNNING,
     ReplicaSet,
     ResourceRequest,
-    RUNNING,
-    StatefulSet,
     SUCCEEDED,
+    StatefulSet,
 )
 from repro.kube.objects import ContainerSpec
 

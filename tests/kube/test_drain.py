@@ -1,6 +1,5 @@
 """Tests for maintenance drains."""
 
-import pytest
 
 from tests.kube.conftest import make_cluster, make_pod
 

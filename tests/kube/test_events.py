@@ -1,8 +1,6 @@
 """Tests for FailedScheduling event emission (Table 8 taxonomy)."""
 
-import pytest
 
-from repro.kube import ObjectMeta, PersistentVolumeClaim, SchedulerConfig
 from repro.kube.events import (
     REASON_NO_NODES,
     REASON_POD_NOT_FOUND,

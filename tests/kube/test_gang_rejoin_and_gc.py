@@ -1,6 +1,5 @@
 """Regression tests: gang-member replacement rejoin, and terminal-pod GC."""
 
-import pytest
 
 from repro.kube import RUNNING, SUCCEEDED
 

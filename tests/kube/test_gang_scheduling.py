@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.kube import (
     NodeAllocation,
@@ -11,8 +10,8 @@ from repro.kube import (
     PENDING,
     Pod,
     PodSpec,
-    ResourceRequest,
     RUNNING,
+    ResourceRequest,
 )
 from repro.kube.scheduling import bsa_place
 

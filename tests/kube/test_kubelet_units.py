@@ -1,6 +1,5 @@
 """Unit tests for kubelet edge cases."""
 
-import pytest
 
 from repro.kube import FAILED, RUNNING
 

@@ -1,15 +1,12 @@
 """Tests for node failure detection, eviction and recovery."""
 
-import pytest
 
 from repro.kube import (
-    FAILED,
-    NodeCapacity,
     ObjectMeta,
     PENDING,
     PodTemplate,
-    ResourceRequest,
     RUNNING,
+    ResourceRequest,
     StatefulSet,
 )
 from repro.kube.events import EVICTED, NODE_NOT_READY_EVENT

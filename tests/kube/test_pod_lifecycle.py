@@ -4,7 +4,7 @@ import pytest
 
 from repro.kube import FAILED, PENDING, RUNNING, SUCCEEDED
 
-from tests.kube.conftest import make_cluster, make_pod, sleep_workload
+from tests.kube.conftest import make_cluster, make_pod
 
 
 def test_pod_scheduled_and_runs_to_success():

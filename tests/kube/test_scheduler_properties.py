@@ -9,11 +9,11 @@ Random pod workloads (sizes, arrival order, deletions) must never violate:
 
 from hypothesis import given, settings, strategies as st
 
+from repro.docker import Image
 from repro.kube import Cluster, NodeCapacity, SchedulerConfig
 from repro.kube.objects import ContainerSpec, ObjectMeta, Pod, PodSpec
 from repro.kube.resources import ResourceRequest
 from repro.sim import Environment, RngRegistry
-from repro.docker import Image
 
 
 POD_SPECS = st.lists(

@@ -1,7 +1,6 @@
 """Tests for Spread vs Pack placement and the fragmentation phenomenon
 described in Section 3.4 of the paper."""
 
-import pytest
 
 from repro.kube import PENDING, RUNNING
 

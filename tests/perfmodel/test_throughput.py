@@ -4,22 +4,9 @@ calibration points (Tables 4 and 6) and behaves sanely elsewhere."""
 import pytest
 
 from repro.perfmodel import (
-    DGX1_SERVER,
-    INCEPTIONV3_TF,
-    K80,
-    P100,
-    RESNET50_TF,
-    V100,
-    VGG16_CAFFE,
-    VGG16_TF,
-    cpu_scaling,
-    distributed_images_per_sec,
-    gpu_spec,
-    gpu_utilization,
-    images_per_sec,
-    iteration_time_s,
-    model_spec,
-    saturation_threads,
+    DGX1_SERVER, INCEPTIONV3_TF, K80, P100, RESNET50_TF, V100, VGG16_CAFFE,
+    VGG16_TF, distributed_images_per_sec, gpu_spec, gpu_utilization,
+    images_per_sec, iteration_time_s, model_spec, saturation_threads,
     streaming_demand_bps,
 )
 

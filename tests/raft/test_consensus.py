@@ -1,6 +1,5 @@
 """Integration tests for Raft leader election and log replication."""
 
-import pytest
 
 from repro.errors import NotLeaderError
 from repro.raft import CallbackStateMachine, LEADER, RaftCluster

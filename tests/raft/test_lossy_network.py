@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.raft import CallbackStateMachine, Network, RaftCluster
+from repro.raft import CallbackStateMachine, RaftCluster
 from repro.sim import Environment, RngRegistry
 
 

@@ -39,6 +39,28 @@ def test_adding_stream_does_not_perturb_existing():
     assert first == second
 
 
+def test_stream_creation_mid_run_does_not_perturb_in_flight_draws():
+    """Registering a new component mid-experiment must not shift the
+    draw sequences of streams that are already being consumed."""
+    # Run A: two streams drawn end to end, no extra registrations.
+    reg_a = RngRegistry(11)
+    a_main = [reg_a.stream("main").random() for _ in range(6)]
+    a_aux = [reg_a.stream("aux").gauss(0.0, 1.0) for _ in range(6)]
+
+    # Run B, same master seed: half the draws happen, then a brand-new
+    # named stream appears (and is consumed), then drawing continues.
+    reg_b = RngRegistry(11)
+    b_main = [reg_b.stream("main").random() for _ in range(3)]
+    b_aux = [reg_b.stream("aux").gauss(0.0, 1.0) for _ in range(3)]
+    late = reg_b.stream("late-component")
+    late.shuffle(list(range(100)))
+    b_main += [reg_b.stream("main").random() for _ in range(3)]
+    b_aux += [reg_b.stream("aux").gauss(0.0, 1.0) for _ in range(3)]
+
+    assert b_main == a_main
+    assert b_aux == a_aux
+
+
 def test_fork_is_deterministic_and_independent():
     reg = RngRegistry(5)
     child1 = reg.fork("exp")

@@ -1,0 +1,102 @@
+"""The analyzer must be green over the real tree — and stay green.
+
+Also exercises the CLI contract the CI workflow depends on: ``--strict``
+exits 0 on a clean tree and non-zero on an injected violation of every
+rule.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck import ALL_RULES, RULE_CATALOG, analyze_tree
+from repro.staticcheck.cli import main
+
+#: One minimal violating module per static rule.
+VIOLATIONS = {
+    "DET001": """
+        import time
+
+        def f():
+            return time.time()
+    """,
+    "DET002": """
+        import random
+
+        def f():
+            return random.random()
+    """,
+    "DET003": """
+        def f(xs):
+            for x in set(xs):
+                print(x)
+    """,
+    "SAF001": """
+        def f(ev):
+            try:
+                yield ev
+            except Exception:
+                pass
+    """,
+    "SAF002": """
+        def proc(env):
+            yield env.timeout(1)
+            yield 5
+    """,
+}
+
+
+def test_repo_tree_has_zero_unsuppressed_findings():
+    findings, _suppressed = analyze_tree()
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_repo_suppressions_all_carry_reasons():
+    # Suppressed findings exist (the kernel boundary) but none without a
+    # reason, which would have surfaced as SUP001 above.
+    _findings, suppressed = analyze_tree()
+    assert all(s.code for s in suppressed)
+
+
+def test_cli_strict_is_green_on_repo(capsys):
+    assert main(["--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+@pytest.mark.parametrize("code", sorted(VIOLATIONS))
+def test_cli_strict_fails_on_injected_violation(tmp_path, capsys, code):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS[code]))
+    assert main(["--strict", str(bad)]) == 1
+    assert code in capsys.readouterr().out
+
+
+def test_cli_without_strict_reports_but_exits_zero(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["DET001"]))
+    assert main([str(bad)]) == 0
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_cli_markdown_report(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["DET002"]))
+    assert main(["--format", "md", str(bad)]) == 0
+    out = capsys.readouterr().out
+    assert "## staticcheck findings" in out
+    assert "DET002" in out
+
+
+def test_cli_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_CATALOG:
+        assert code in out
+
+
+def test_rule_catalog_matches_registered_rules():
+    registered = {rule.code for rule in ALL_RULES}
+    assert registered | {"SUP001"} == set(RULE_CATALOG)
+    for rule in ALL_RULES:
+        assert rule.description == RULE_CATALOG[rule.code]

@@ -1,0 +1,171 @@
+"""Unit tests for the runtime invariant checkers.
+
+Positive paths run real substrates (a pod lifecycle on the simulated
+cluster); negative paths feed fabricated traces through the tracer
+interfaces and assert each invariant trips.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.kube import FAILED, SUCCEEDED
+from repro.raft.messages import LogEntry
+from repro.staticcheck import KubeStateMachineChecker, RaftInvariantChecker
+
+from tests.kube.conftest import make_cluster, make_pod
+
+
+class FakeNode:
+    def __init__(self, node_id, term, log):
+        self.node_id = node_id
+        self.current_term = term
+        self.log = log
+
+
+def entries(*pairs):
+    return [LogEntry(term, command) for term, command in pairs]
+
+
+# -- RaftInvariantChecker: fabricated violations ---------------------------
+
+
+def test_election_safety_trips_on_two_leaders_per_term():
+    checker = RaftInvariantChecker()
+    checker.on_leader_elected(FakeNode("n0", 3, []))
+    with pytest.raises(InvariantViolation, match="ElectionSafety"):
+        checker.on_leader_elected(FakeNode("n1", 3, []))
+
+
+def test_reelection_of_same_leader_is_fine():
+    checker = RaftInvariantChecker()
+    node = FakeNode("n0", 3, [])
+    checker.on_leader_elected(node)
+    checker.on_leader_elected(node)
+    assert checker.ok
+
+
+def test_leader_completeness_trips_on_missing_committed_entry():
+    checker = RaftInvariantChecker()
+    good = FakeNode("n0", 1, entries((1, "a"), (1, "b")))
+    checker.on_apply(good, 1, good.log[0])
+    checker.on_apply(good, 2, good.log[1])
+    with pytest.raises(InvariantViolation, match="LeaderCompleteness"):
+        checker.on_leader_elected(FakeNode("n1", 2, entries((1, "a"))))
+
+
+def test_leader_completeness_trips_on_wrong_term_at_index():
+    checker = RaftInvariantChecker()
+    good = FakeNode("n0", 1, entries((1, "a")))
+    checker.on_apply(good, 1, good.log[0])
+    stale = FakeNode("n1", 3, entries((2, "x")))
+    with pytest.raises(InvariantViolation, match="LeaderCompleteness"):
+        checker.on_leader_elected(stale)
+
+
+def test_state_machine_safety_trips_on_conflicting_apply():
+    checker = RaftInvariantChecker()
+    a = FakeNode("n0", 1, entries((1, "a")))
+    b = FakeNode("n1", 1, entries((1, "z")))
+    checker.on_apply(a, 1, a.log[0])
+    with pytest.raises(InvariantViolation, match="StateMachineSafety"):
+        checker.on_apply(b, 1, b.log[0])
+
+
+def test_log_matching_trips_on_divergent_prefix():
+    checker = RaftInvariantChecker()
+    a = FakeNode("n0", 2, entries((1, "x"), (2, "same")))
+    b = FakeNode("n1", 2, entries((1, "y"), (2, "same")))
+    with pytest.raises(InvariantViolation, match="LogMatching"):
+        checker.check_log_matching([a, b])
+
+
+def test_log_matching_accepts_consistent_prefixes():
+    checker = RaftInvariantChecker()
+    a = FakeNode("n0", 2, entries((1, "x"), (2, "same")))
+    b = FakeNode("n1", 2, entries((1, "x"), (2, "same"), (2, "extra")))
+    checker.check_log_matching([a, b])
+    assert checker.ok
+
+
+def test_non_strict_mode_collects_instead_of_raising():
+    checker = RaftInvariantChecker(strict=False)
+    checker.on_leader_elected(FakeNode("n0", 3, []))
+    checker.on_leader_elected(FakeNode("n1", 3, []))
+    assert not checker.ok
+    assert any("ElectionSafety" in v for v in checker.violations)
+
+
+# -- KubeStateMachineChecker: real lifecycle -------------------------------
+
+
+def test_pod_lifecycle_satisfies_state_machine():
+    env, cluster = make_cluster()
+    checker = KubeStateMachineChecker(cluster.api)
+    ok_pod = make_pod(env, "ok", duration=10)
+    bad_pod = make_pod(env, "bad", duration=5, exit_code=1)
+    cluster.api.create_pod(ok_pod)
+    cluster.api.create_pod(bad_pod)
+    env.run(until=60)
+    assert ok_pod.phase == SUCCEEDED
+    assert bad_pod.phase == FAILED
+    assert checker.ok
+    assert checker.transitions_observed > 0
+
+
+# -- KubeStateMachineChecker: fabricated violations ------------------------
+
+
+class FakeMeta:
+    def __init__(self, uid):
+        self.uid = uid
+
+
+class FakePod:
+    def __init__(self, uid, phase, name="fake"):
+        self.meta = FakeMeta(uid)
+        self.phase = phase
+        self.name = name
+
+
+def test_kube_checker_rejects_terminal_resurrection():
+    checker = KubeStateMachineChecker()
+    checker._on_pod_change("ADDED", FakePod("u1", "Pending"))
+    checker._on_pod_change("MODIFIED", FakePod("u1", "Succeeded"))
+    with pytest.raises(InvariantViolation, match="PhaseTransition"):
+        checker._on_pod_change("MODIFIED", FakePod("u1", "Running"))
+
+
+def test_kube_checker_rejects_reuse_after_delete():
+    checker = KubeStateMachineChecker()
+    checker._on_pod_change("ADDED", FakePod("u1", "Pending"))
+    checker._on_pod_change("DELETED", FakePod("u1", "Pending"))
+    with pytest.raises(InvariantViolation, match="NoResurrection"):
+        checker._on_pod_change("MODIFIED", FakePod("u1", "Running"))
+
+
+def test_kube_checker_rejects_double_add():
+    checker = KubeStateMachineChecker()
+    checker._on_pod_change("ADDED", FakePod("u1", "Pending"))
+    with pytest.raises(InvariantViolation, match="UniqueUid"):
+        checker._on_pod_change("ADDED", FakePod("u1", "Pending"))
+
+
+def test_kube_checker_rejects_non_pending_creation():
+    checker = KubeStateMachineChecker()
+    with pytest.raises(InvariantViolation, match="StartsPending"):
+        checker._on_pod_change("ADDED", FakePod("u1", "Running"))
+
+
+def test_kube_checker_rejects_unknown_phase():
+    checker = KubeStateMachineChecker()
+    with pytest.raises(InvariantViolation, match="KnownPhase"):
+        checker._on_pod_change("MODIFIED", FakePod("u1", "Zombie"))
+
+
+def test_kube_checker_allows_self_loop_status_refresh():
+    checker = KubeStateMachineChecker()
+    checker._on_pod_change("ADDED", FakePod("u1", "Pending"))
+    checker._on_pod_change("MODIFIED", FakePod("u1", "Running"))
+    checker._on_pod_change("MODIFIED", FakePod("u1", "Running"))
+    checker._on_pod_change("MODIFIED", FakePod("u1", "Failed"))
+    assert checker.ok

@@ -6,7 +6,6 @@ the same miniature trace executed on the full Kubernetes simulation with
 real pods, controllers and the scheduler.
 """
 
-import pytest
 
 from repro.analysis import NodeSpec, PlacementReplayer, QUEUE_THRESHOLD_S
 from repro.docker import Image

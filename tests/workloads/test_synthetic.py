@@ -1,6 +1,5 @@
 """Tests for the Figure 4 synthetic gang workloads."""
 
-import pytest
 
 from repro.analysis import probability_of_zero
 from repro.workloads import GANG_WORKLOADS, run_gang_experiment

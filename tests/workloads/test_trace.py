@@ -1,6 +1,5 @@
 """Tests for the production trace generator (Figure 3a shape)."""
 
-import pytest
 
 from repro.sim import RngRegistry
 from repro.workloads import ProductionTrace, TraceConfig, arrivals_by_day
