@@ -1,0 +1,34 @@
+"""Deterministic chaos engine for the FfDL platform.
+
+Composes the per-substrate fault hooks that already exist across the tree
+(:class:`~repro.sim.failure.FaultInjector` specs, Raft network partitions,
+MongoDB primary kills, object-store outage/brownout windows, kubelet crash
+injection) into declarative, seeded scenarios.  Each scenario runs a job
+churn against a fully replicated platform, injects its faults on a fixed
+schedule, checks steady-state hypotheses before and after the injections,
+and emits a merged audit log that is byte-identical across runs with the
+same seed — the property ``--check-determinism`` verifies.
+
+Run ``python -m repro.chaos --list`` to see the named scenarios.
+"""
+
+from repro.chaos.engine import (
+    ChaosEngine,
+    ChaosReport,
+    HypothesisResult,
+    InjectionStep,
+    RecoveryRecord,
+    Scenario,
+)
+from repro.chaos.scenarios import SCENARIOS, get_scenario
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosReport",
+    "HypothesisResult",
+    "InjectionStep",
+    "RecoveryRecord",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+]

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.chaos``.
+
+Runs a named scenario and prints its report.  Exit status is 0 when all
+steady-state hypotheses pass, 1 when any fails, and 2 when
+``--check-determinism`` finds a divergent audit log.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.scenarios import SCENARIOS, get_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run a deterministic chaos scenario against a "
+                    "replicated FfDL platform.")
+    parser.add_argument("--scenario", default="everything-at-once",
+                        help="scenario name (see --list)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the named scenarios and exit")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the scenario twice and fail unless the "
+                             "audit logs are identical")
+    parser.add_argument("--format", choices=("text", "md"), default="text",
+                        help="report format (default text)")
+    parser.add_argument("--no-audit", action="store_true",
+                        help="omit the audit log from the report")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name}: {scenario.description}")
+        return 0
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as err:
+        print(err.args[0])
+        return 2
+    report = ChaosEngine(scenario, seed=args.seed).run()
+    print(report.render(args.format, audit=not args.no_audit))
+    if args.check_determinism:
+        rerun = ChaosEngine(scenario, seed=args.seed).run()
+        if rerun.audit_lines != report.audit_lines:
+            diverging = sum(1 for a, b in
+                            zip(report.audit_lines, rerun.audit_lines)
+                            if a != b)
+            print(f"determinism check FAILED: {diverging} diverging "
+                  f"entries (lengths {len(report.audit_lines)} vs "
+                  f"{len(rerun.audit_lines)})")
+            return 2
+        print(f"determinism check passed: {len(report.audit_lines)} "
+              f"audit entries identical across two runs")
+    return 0 if report.passed else 1

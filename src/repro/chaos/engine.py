@@ -1,0 +1,599 @@
+"""The chaos engine: seeded scenarios, injections, hypotheses, audit.
+
+A :class:`Scenario` is pure data: a schedule of :class:`InjectionStep`
+records against named fault kinds.  :class:`ChaosEngine` binds each kind
+to the substrate hooks that already exist in the tree (Raft
+crash/partition, Mongo member kills, object-store outage and brownout
+windows, kubelet node crashes, microservice replica kills), schedules
+every step through a :class:`~repro.sim.failure.FaultInjector` so each
+occurrence lands in the injector's audit log, runs a seeded job churn
+over the platform, and checks steady-state hypotheses before the first
+injection and after the last recovery.
+
+Everything — churn arrivals, outage durations, retry jitter — draws from
+named :class:`~repro.sim.rng.RngRegistry` streams, so a scenario's merged
+audit log is identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import statuses as st
+from repro.core.manifest import JobManifest
+from repro.core.platform import FfDLPlatform, PlatformConfig
+from repro.errors import SimulationError, StoreUnavailableError
+from repro.etcd.replicated import ReplicatedEtcd
+from repro.mongo.database import MongoReplicaSet
+from repro.resilience import RetryPolicy, TRANSIENT_ERRORS
+from repro.sim.core import Environment
+from repro.sim.failure import FaultEvent, FaultInjector
+from repro.sim.rng import RngRegistry
+
+#: Paper recovery-time calibration (Table 3), for the kinds that map onto
+#: a crashed FfDL component.  Other kinds report measured times only.
+TABLE3_RECOVERY_S: Dict[str, Tuple[str, Tuple[float, float]]] = {
+    "api-crash": ("API", (3.0, 5.0)),
+    "lcm-crash": ("LCM", (4.0, 6.0)),
+}
+
+#: Fault kinds the engine can bind (scenario validation).
+FAULT_KINDS = (
+    "etcd-leader-kill",
+    "etcd-partition",
+    "mongo-primary-kill",
+    "oss-outage",
+    "oss-brownout",
+    "node-crash",
+    "api-crash",
+    "lcm-crash",
+)
+
+
+@dataclass(frozen=True)
+class InjectionStep:
+    """One scheduled injection: *what* to break, *when*, for *how long*."""
+
+    at_s: float
+    kind: str
+    target: str = ""
+    duration_s: float = 0.0
+    #: Kind-specific knob (e.g. brownout bandwidth fraction).
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {', '.join(FAULT_KINDS)}")
+        if self.at_s < 0 or self.duration_s < 0:
+            raise ValueError("at_s and duration_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative chaos scenario."""
+
+    name: str
+    description: str
+    steps: Tuple[InjectionStep, ...]
+    horizon_s: float = 900.0
+    #: Extra quiet time after the horizon for recoveries and flushes.
+    settle_s: float = 240.0
+    jobs: int = 6
+    job_interarrival_s: float = 20.0
+    job_iterations: int = 150
+
+
+@dataclass(frozen=True)
+class HypothesisResult:
+    phase: str
+    name: str
+    ok: bool
+    detail: str
+    time: float
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    kind: str
+    target: str
+    started_at: float
+    duration_s: Optional[float]
+    timed_out: bool = False
+
+
+@dataclass
+class ChaosReport:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    seed: int
+    hypotheses: List[HypothesisResult]
+    recoveries: List[RecoveryRecord]
+    audit_lines: List[str]
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(h.ok for h in self.hypotheses) and bool(self.hypotheses)
+
+    def render(self, fmt: str = "text", audit: bool = True) -> str:
+        if fmt == "md":
+            return self._render_md(audit)
+        return self._render_text(audit)
+
+    def _recovery_rows(self) -> List[Tuple[str, str, str, str]]:
+        rows = []
+        for rec in self.recoveries:
+            measured = "TIMED OUT" if rec.timed_out \
+                else f"{rec.duration_s:.2f}s"
+            paper = ""
+            mapped = TABLE3_RECOVERY_S.get(rec.kind)
+            if mapped is not None:
+                component, (lo, hi) = mapped
+                paper = f"{component} {lo:g}-{hi:g}s (Table 3)"
+            rows.append((rec.kind, rec.target or "-", measured, paper))
+        return rows
+
+    def _render_text(self, audit: bool) -> str:
+        lines = [f"chaos scenario {self.scenario!r} seed={self.seed}: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        lines.append("counters: " + " ".join(
+            f"{key}={value:g}" for key, value in self.counters.items()))
+        lines.append("hypotheses:")
+        for h in self.hypotheses:
+            lines.append(f"  [{h.phase}] {h.name}: "
+                         f"{'PASS' if h.ok else 'FAIL'} ({h.detail})")
+        lines.append("recovery times:")
+        for kind, target, measured, paper in self._recovery_rows():
+            suffix = f"  [paper: {paper}]" if paper else ""
+            lines.append(f"  {kind} target={target}: {measured}{suffix}")
+        if audit:
+            lines.append(f"audit log ({len(self.audit_lines)} entries):")
+            lines.extend(f"  {entry}" for entry in self.audit_lines)
+        return "\n".join(lines)
+
+    def _render_md(self, audit: bool) -> str:
+        lines = [f"## Chaos scenario `{self.scenario}` (seed {self.seed}) — "
+                 f"{'PASS' if self.passed else 'FAIL'}", ""]
+        lines.append("| counter | value |")
+        lines.append("|---|---|")
+        for key, value in self.counters.items():
+            lines.append(f"| {key} | {value:g} |")
+        lines.append("")
+        lines.append("| phase | hypothesis | result | detail |")
+        lines.append("|---|---|---|---|")
+        for h in self.hypotheses:
+            lines.append(f"| {h.phase} | {h.name} | "
+                         f"{'PASS' if h.ok else 'FAIL'} | {h.detail} |")
+        lines.append("")
+        lines.append("| fault | target | measured recovery | paper |")
+        lines.append("|---|---|---|---|")
+        for kind, target, measured, paper in self._recovery_rows():
+            lines.append(f"| {kind} | {target} | {measured} | "
+                         f"{paper or '—'} |")
+        if audit:
+            lines.append("")
+            lines.append("<details><summary>audit log "
+                         f"({len(self.audit_lines)} entries)</summary>")
+            lines.append("")
+            lines.append("```")
+            lines.extend(self.audit_lines)
+            lines.append("```")
+            lines.append("</details>")
+        return "\n".join(lines)
+
+
+def default_platform_config() -> PlatformConfig:
+    """The fully replicated deployment chaos scenarios run against."""
+    return PlatformConfig(
+        etcd_replicas=3,
+        mongo_secondaries=2,
+        mongo_election_delay_s=4.0,
+        client_breakers=True,
+        mount_retry=RetryPolicy(max_attempts=6, base_delay_s=0.2,
+                                max_delay_s=5.0),
+    )
+
+
+class ChaosEngine:
+    """Runs one scenario against one freshly built platform."""
+
+    #: Recovery polling resolution (quantizes measured recovery times).
+    POLL_S = 0.25
+    #: Give up watching for a fault's recovery after this long.
+    RECOVERY_TIMEOUT_S = 900.0
+    #: Bounded drain grace before each hypothesis check: the writer gets
+    #: up to this many half-second windows to flush in-flight writes, so
+    #: a write enqueued microseconds before the check does not read as a
+    #: stuck backlog.
+    DRAIN_GRACE_STEPS = 120
+
+    def __init__(self, scenario: Scenario, seed: int = 0,
+                 config: Optional[PlatformConfig] = None,
+                 gpu_nodes: int = 4, gpus_per_node: int = 4):
+        self.scenario = scenario
+        self.seed = seed
+        self.env = Environment()
+        self.rng = RngRegistry(seed)
+        self.config = config or default_platform_config()
+        self.platform = FfDLPlatform(self.env, self.rng, self.config)
+        self.platform.add_gpu_nodes(gpu_nodes, gpus_per_node=gpus_per_node,
+                                    gpu_type="K80")
+        self.platform.admission.register("chaos", gpu_quota=10 ** 6)
+        self.injector = FaultInjector(self.env, self.rng)
+        self.stream = self.rng.stream("chaos:arrivals")
+        self._engine_log: List[Tuple[float, str]] = []
+        self.hypotheses: List[HypothesisResult] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.submitted: List[str] = []
+        self.submit_failures = 0
+        self._ran = False
+
+    # -- audit --------------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        self._engine_log.append((self.env.now, text))
+
+    def audit_lines(self) -> List[str]:
+        """Engine events merged with the injector's own audit log.
+
+        At equal timestamps the injector record comes first (it is
+        written before the fault callback runs); within a source, append
+        order is preserved.  The merged log is the determinism witness:
+        two runs with the same seed must produce identical lines.
+        """
+        entries: List[Tuple[float, int, int, str]] = []
+        for seq, fault in enumerate(self.injector.log):
+            entries.append((fault.time, 0, seq,
+                            f"fault {fault.kind} target={fault.target} "
+                            f"duration={fault.duration_s:.3f}"))
+        for seq, (time, text) in enumerate(self._engine_log):
+            entries.append((time, 1, seq, text))
+        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [f"t={time:10.3f} {text}"
+                for time, _src, _seq, text in entries]
+
+    # -- fault binding ------------------------------------------------------
+
+    def _bind(self, step: InjectionStep):
+        """(inject, recover, healthy) callables for one step."""
+        platform = self.platform
+        state: Dict[str, object] = {}
+
+        if step.kind == "etcd-leader-kill":
+            if not isinstance(platform.etcd, ReplicatedEtcd):
+                raise SimulationError(
+                    "etcd-leader-kill needs etcd_replicas > 0")
+
+            def inject(event: FaultEvent) -> None:
+                state["node"] = platform.etcd.crash_leader()
+
+            def recover(event: FaultEvent) -> None:
+                node = state.get("node")
+                if node:
+                    platform.etcd.restart_replica(node)
+
+            def healthy() -> bool:
+                return platform.etcd.cluster.leader() is not None
+
+        elif step.kind == "etcd-partition":
+            if not isinstance(platform.etcd, ReplicatedEtcd):
+                raise SimulationError(
+                    "etcd-partition needs etcd_replicas > 0")
+            raft = platform.etcd.cluster
+
+            def inject(event: FaultEvent) -> None:
+                leader = raft.leader()
+                state["term"] = leader.current_term if leader else 0
+                if leader is not None:
+                    others = {node_id for node_id in raft.node_ids()
+                              if node_id != leader.node_id}
+                    raft.network.partition({leader.node_id}, others)
+
+            def recover(event: FaultEvent) -> None:
+                raft.network.heal_all()
+
+            def healthy() -> bool:
+                # Healthy once the majority side elected a fresh leader.
+                leader = raft.leader()
+                return leader is not None and \
+                    leader.current_term > int(state.get("term", 0))
+
+        elif step.kind == "mongo-primary-kill":
+            if not isinstance(platform.mongo, MongoReplicaSet):
+                raise SimulationError(
+                    "mongo-primary-kill needs mongo_secondaries > 0")
+
+            def inject(event: FaultEvent) -> None:
+                state["index"] = platform.mongo.primary_index
+                platform.mongo.crash_member(state["index"])
+
+            def recover(event: FaultEvent) -> None:
+                platform.mongo.restart_member(int(state["index"]))
+
+            def healthy() -> bool:
+                return platform.mongo.has_primary
+
+        elif step.kind == "oss-outage":
+            def inject(event: FaultEvent) -> None:
+                platform.oss.begin_outage()
+
+            def recover(event: FaultEvent) -> None:
+                platform.oss.end_outage()
+
+            def healthy() -> bool:
+                return platform.oss.available
+
+        elif step.kind == "oss-brownout":
+            fraction = step.param or 0.1
+
+            def inject(event: FaultEvent) -> None:
+                platform.oss.set_bandwidth(
+                    platform.oss.nominal_bandwidth_bps * fraction)
+
+            def recover(event: FaultEvent) -> None:
+                platform.oss.restore_bandwidth()
+
+            def healthy() -> bool:
+                return platform.oss.link.capacity_bps >= \
+                    platform.oss.nominal_bandwidth_bps
+
+        elif step.kind == "node-crash":
+            if not step.target:
+                raise SimulationError("node-crash needs a target node")
+
+            def inject(event: FaultEvent) -> None:
+                platform.cluster.fail_node(step.target)
+
+            def recover(event: FaultEvent) -> None:
+                platform.cluster.recover_node(step.target)
+
+            def healthy() -> bool:
+                return platform.cluster.node_is_up(step.target)
+
+        elif step.kind in ("api-crash", "lcm-crash"):
+            service = platform.api_service if step.kind == "api-crash" \
+                else platform.lcm
+
+            def inject(event: FaultEvent) -> None:
+                # Kill the whole replica set so availability actually
+                # drops; recovery time is the fastest replica's restart
+                # (the quantity Table 3 reports).
+                for _ in range(service.replicas_up):
+                    service.crash_replica()
+
+            def recover(event: FaultEvent) -> None:
+                pass  # replicas restart themselves
+
+            def healthy() -> bool:
+                return service.available
+
+        else:  # pragma: no cover - InjectionStep validates kinds
+            raise SimulationError(f"unbound fault kind {step.kind!r}")
+
+        return inject, recover, healthy
+
+    def _schedule_step(self, step: InjectionStep) -> None:
+        inject, recover, healthy = self._bind(step)
+
+        def on_fault(event: FaultEvent) -> None:
+            inject(event)
+            self._log(f"inject {step.kind} target={step.target or '-'} "
+                      f"duration={step.duration_s:g}")
+            self.env.process(self._watch_recovery(step, healthy),
+                             name=f"chaos-watch:{step.kind}")
+
+        def on_recover(event: FaultEvent) -> None:
+            recover(event)
+            self._log(f"recover {step.kind} target={step.target or '-'}")
+
+        self.injector.inject_once(
+            step.kind, step.target or step.kind, step.at_s, on_fault,
+            duration_s=step.duration_s, on_recover=on_recover)
+
+    def _watch_recovery(self, step: InjectionStep, healthy):
+        started = self.env.now
+        while self.env.now - started < self.RECOVERY_TIMEOUT_S:
+            yield self.env.timeout(self.POLL_S)
+            if healthy():
+                duration = self.env.now - started
+                self.recoveries.append(RecoveryRecord(
+                    step.kind, step.target, started, duration))
+                self._log(f"recovered {step.kind} "
+                          f"target={step.target or '-'} "
+                          f"after {duration:.2f}s")
+                return
+        self.recoveries.append(RecoveryRecord(
+            step.kind, step.target, started, None, timed_out=True))
+        self._log(f"recovery-timeout {step.kind} "
+                  f"target={step.target or '-'}")
+
+    # -- workload -----------------------------------------------------------
+
+    def _churn(self):
+        for index in range(self.scenario.jobs):
+            yield self.env.timeout(self.stream.expovariate(
+                1.0 / self.scenario.job_interarrival_s))
+            self.env.process(self._one_job(index),
+                             name=f"chaos-job:{index}")
+
+    def _one_job(self, index: int):
+        manifest = JobManifest(
+            name=f"chaos-{index}", user="chaos", framework="tensorflow",
+            model="resnet50", data_bucket=f"chaos-data-{index}",
+            result_bucket="chaos-results", learners=1, gpus_per_learner=1,
+            gpu_type="K80", iterations=self.scenario.job_iterations,
+            dataset_objects=2, dataset_object_bytes=32e6)
+        try:
+            job_id = yield self.platform.submit_job(manifest)
+        except TRANSIENT_ERRORS as err:
+            self.submit_failures += 1
+            self._log(f"submit-failed job=chaos-{index} "
+                      f"error={type(err).__name__}")
+            return
+        self.submitted.append(job_id)
+        self._log(f"submitted {job_id} (chaos-{index})")
+
+    # -- hypotheses ---------------------------------------------------------
+
+    def _jobs_collection(self):
+        return self.platform.mongo.collection("jobs")
+
+    def _hyp_writer_flushed(self) -> Tuple[bool, str]:
+        writer = self.platform.status_writer
+        ok = writer.pending == 0 and not writer.degraded \
+            and writer.write_errors == 0
+        return ok, (f"enqueued={writer.total_enqueued} "
+                    f"flushed={writer.total_flushed} "
+                    f"pending={writer.pending} "
+                    f"errors={writer.write_errors}")
+
+    def _hyp_jobs_durable(self) -> Tuple[bool, str]:
+        if self.platform.status_writer.pending:
+            return False, (f"{self.platform.status_writer.pending} "
+                           f"writes still buffered")
+        try:
+            collection = self._jobs_collection()
+        except StoreUnavailableError:
+            return False, "mongo primary unavailable"
+        missing = [job_id for job_id in sorted(self.platform.jobs)
+                   if collection.find_one({"_id": job_id}) is None]
+        if missing:
+            return False, (f"{len(missing)} job records lost: "
+                           f"{missing[:3]}")
+        return True, f"{len(self.platform.jobs)} job records durable"
+
+    def _hyp_status_consistent(self) -> Tuple[bool, str]:
+        try:
+            collection = self._jobs_collection()
+        except StoreUnavailableError:
+            return False, "mongo primary unavailable"
+        stale = []
+        for job_id in sorted(self.platform.jobs):
+            document = collection.find_one({"_id": job_id})
+            if document is None:
+                continue  # counted by the durability hypothesis
+            if document.get("status") != \
+                    self.platform.jobs[job_id].status.current:
+                stale.append(job_id)
+        if stale:
+            return False, (f"{len(stale)} durable statuses stale: "
+                           f"{stale[:3]}")
+        return True, "durable status matches in-memory status"
+
+    def _hyp_mongo_primary(self) -> Tuple[bool, str]:
+        backend = self.platform.mongo
+        if isinstance(backend, MongoReplicaSet):
+            ok = backend.has_primary
+            return ok, (f"primary index {backend.primary_index}" if ok
+                        else "no primary")
+        return True, "standalone mongo"
+
+    def _hyp_etcd_leader(self) -> Tuple[bool, str]:
+        backend = self.platform.etcd
+        if isinstance(backend, ReplicatedEtcd):
+            leader = backend.cluster.leader()
+            if leader is None:
+                return False, "no raft leader"
+            return True, f"leader {leader.node_id}"
+        return True, "standalone etcd"
+
+    def _hyp_no_overallocation(self) -> Tuple[bool, str]:
+        over = [name for name, alloc in
+                sorted(self.platform.cluster.allocations.items())
+                if alloc.allocated_gpus > alloc.capacity.gpus]
+        if over:
+            return False, f"over-allocated nodes: {over}"
+        return True, (f"allocated {self.platform.cluster.allocated_gpus()}"
+                      f"/{self.platform.cluster.total_gpus()} GPUs")
+
+    def _hypotheses(self):
+        return (
+            ("status-writer-flushed", self._hyp_writer_flushed),
+            ("no-lost-job-records", self._hyp_jobs_durable),
+            ("status-consistency", self._hyp_status_consistent),
+            ("mongo-primary-available", self._hyp_mongo_primary),
+            ("etcd-leader-elected", self._hyp_etcd_leader),
+            ("no-gpu-overallocation", self._hyp_no_overallocation),
+        )
+
+    def _check_hypotheses(self, phase: str):
+        # Bounded drain grace: let in-flight (non-degraded) writes land
+        # so the check measures steady state, not a scheduling race.
+        writer = self.platform.status_writer
+        for _ in range(self.DRAIN_GRACE_STEPS):
+            if writer.pending == 0 and not writer.degraded:
+                break
+            yield self.env.timeout(0.5)
+        for name, check in self._hypotheses():
+            ok, detail = check()
+            self.hypotheses.append(HypothesisResult(
+                phase, name, ok, detail, self.env.now))
+            self._log(f"hypothesis {name} [{phase}]: "
+                      f"{'PASS' if ok else 'FAIL'} ({detail})")
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        if self._ran:
+            raise SimulationError("ChaosEngine instances are single-use; "
+                                  "build a fresh one per run")
+        self._ran = True
+        scenario = self.scenario
+        first_fault = min((step.at_s for step in scenario.steps),
+                          default=0.0)
+
+        def baseline():
+            yield self.env.timeout(max(0.0, first_fault - 1.0))
+            yield from self._check_hypotheses("steady-state:before")
+
+        self.env.process(baseline(), name="chaos-baseline")
+        self.env.process(self._churn(), name="chaos-churn")
+        for step in scenario.steps:
+            self._schedule_step(step)
+        self.env.run(until=scenario.horizon_s + scenario.settle_s)
+        self.env.run_until_complete(
+            self.env.process(self._check_hypotheses("steady-state:after"),
+                             name="chaos-final"),
+            limit=self.env.now + 120.0)
+        return self._report()
+
+    def _report(self) -> ChaosReport:
+        platform = self.platform
+        completed = sum(1 for job in platform.jobs.values()
+                        if job.status.current == st.COMPLETED)
+        terminal = sum(1 for job in platform.jobs.values()
+                       if job.status.is_terminal)
+        writer = platform.status_writer
+        counters: Dict[str, float] = {
+            "jobs-submitted": len(self.submitted),
+            "submit-failures": self.submit_failures,
+            "jobs-completed": completed,
+            "jobs-terminal": terminal,
+            "writes-enqueued": writer.total_enqueued,
+            "writes-flushed": writer.total_flushed,
+            "write-errors": writer.write_errors,
+            "peak-buffered-writes": writer.peak_pending,
+            "degraded-windows": len(writer.degraded_periods),
+            "mongo-retries": platform.mongo_client.retries,
+            "etcd-retries": platform.etcd_client.retries,
+            "faults-injected": len(self.injector.log),
+        }
+        if isinstance(platform.mongo, MongoReplicaSet):
+            counters["mongo-failovers"] = len(platform.mongo.failover_log)
+        return ChaosReport(
+            scenario=self.scenario.name,
+            seed=self.seed,
+            hypotheses=list(self.hypotheses),
+            recoveries=list(self.recoveries),
+            audit_lines=self.audit_lines(),
+            counters=counters,
+        )
+
+
+def run_scenario(scenario: Scenario, seed: int = 0,
+                 config: Optional[PlatformConfig] = None) -> ChaosReport:
+    """Build a fresh engine and run ``scenario`` once."""
+    return ChaosEngine(scenario, seed=seed, config=config).run()

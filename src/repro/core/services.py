@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.metrics import TrainingMetricsService
+from repro.errors import DeadlineExceededError
+from repro.resilience import Deadline
 from repro.sim.core import Environment, Event
 from repro.sim.rng import RngRegistry
 
@@ -68,16 +70,34 @@ class Microservice:
         if not self._recovered.triggered:
             self._recovered.succeed()
 
-    def call(self, action: Callable[[], object]) -> Event:
+    def call(self, action: Callable[[], object],
+             deadline_s: Optional[float] = None) -> Event:
         """Invoke ``action`` through the service: waits for availability,
         pays the request latency, resolves with the result (awaiting any
-        Event the action returns)."""
+        Event the action returns).
+
+        With ``deadline_s``, the wait for an available replica is raced
+        against the deadline — a request to a fully-crashed replica set
+        fails with :class:`DeadlineExceededError` instead of hanging for
+        the whole recovery.
+        """
+        deadline = Deadline(self.env, deadline_s) \
+            if deadline_s is not None else None
 
         def request():
             while not self.available:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        f"{self.name} unavailable past the "
+                        f"{deadline.timeout_s}s deadline")
                 self._recovered = self.env.event() \
                     if self._recovered.triggered else self._recovered
-                yield self._recovered
+                if deadline is None:
+                    yield self._recovered
+                else:
+                    yield self.env.any_of([
+                        self._recovered,
+                        self.env.timeout(deadline.remaining_s)])
             yield self.env.timeout(self.request_latency_s)
             self.requests_served += 1
             result = action()

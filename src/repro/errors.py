@@ -32,8 +32,33 @@ class NotLeaderError(ConsensusError):
         self.leader_hint = leader_hint
 
 
+class ResilienceError(ReproError):
+    """Raised by the client-side resilience layer (:mod:`repro.resilience`)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A retried call failed on every attempt the policy allowed."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because its circuit breaker is open."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """A call (or its retries) outlived its deadline."""
+
+
 class StoreError(ReproError):
     """Raised by the etcd / MongoDB substrates."""
+
+
+class StoreUnavailableError(StoreError):
+    """The store is temporarily unreachable (outage, failover in progress).
+
+    This is the *transient* store failure: retry policies treat it as
+    retryable, unlike its :class:`StoreError` siblings which signal
+    semantic errors (missing keys, failed compares) that a retry cannot
+    fix."""
 
 
 class KeyNotFoundError(StoreError):
@@ -54,6 +79,10 @@ class DuplicateKeyError(StoreError):
 
 class ObjectStorageError(ReproError):
     """Raised by the object storage service."""
+
+
+class ObjectStorageUnavailableError(ObjectStorageError):
+    """The object store is inside an injected outage window (transient)."""
 
 
 class NoSuchBucketError(ObjectStorageError):

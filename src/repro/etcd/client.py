@@ -12,25 +12,56 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Union
 
+from repro.errors import ConsensusError, StoreUnavailableError
 from repro.etcd.kv import Compare, EtcdStore, Op, Watcher
 from repro.etcd.replicated import ReplicatedEtcd
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy, retry_call
 from repro.sim.core import Environment, Event
+from repro.sim.rng import RngRegistry
 
 #: Request latency of a lightly loaded etcd (single-digit milliseconds).
 DEFAULT_ETCD_LATENCY_S = 0.002
+
+#: etcd failures worth retrying: injected outages and Raft proposals that
+#: could not commit (leader loss, partition) — never semantic errors.
+RETRYABLE_ETCD_ERRORS = (StoreUnavailableError, ConsensusError)
 
 Backend = Union[EtcdStore, ReplicatedEtcd]
 
 
 class EtcdClient:
-    """Issue etcd operations as simulation processes."""
+    """Issue etcd operations as simulation processes.
+
+    With ``retry`` set, every operation runs under the policy's bounded
+    exponential backoff (jitter drawn from the registry's
+    ``resilience:etcd-client`` stream), optionally guarded by a
+    ``breaker`` and a per-call deadline (``deadline_s``, checked between
+    attempts).  The defaults keep the legacy single-shot behaviour.
+    """
 
     def __init__(self, env: Environment, backend: Backend,
-                 latency_s: float = DEFAULT_ETCD_LATENCY_S):
+                 latency_s: float = DEFAULT_ETCD_LATENCY_S,
+                 rng: Optional[RngRegistry] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 deadline_s: Optional[float] = None):
         self.env = env
         self.backend = backend
         self.latency_s = latency_s
+        self.retry = retry
+        self.breaker = breaker
+        self.default_deadline_s = deadline_s
+        self._retry_stream = rng.stream("resilience:etcd-client") \
+            if rng is not None else None
         self.ops_issued = 0
+        self.retries = 0
+        #: Chaos hook: while False every request fails with
+        #: StoreUnavailableError after the request latency (a dead
+        #: standalone etcd; replicated outages go through Raft faults).
+        self.available = True
+
+    def set_available(self, available: bool) -> None:
+        self.available = available
 
     @property
     def _replicated(self) -> bool:
@@ -45,14 +76,34 @@ class EtcdClient:
         """Run ``action`` after the request latency; resolve with its result."""
         self.ops_issued += 1
 
-        def op():
-            yield self.env.timeout(self.latency_s)
-            result = action()
-            if isinstance(result, Event):
-                result = yield result
-            return result
+        def attempt() -> Event:
+            def op():
+                yield self.env.timeout(self.latency_s)
+                if not self.available:
+                    raise StoreUnavailableError("etcd is unavailable")
+                result = action()
+                if isinstance(result, Event):
+                    result = yield result
+                return result
 
-        return self.env.process(op(), name="etcd-op")
+            return self.env.process(op(), name="etcd-op")
+
+        if self.retry is None and self.breaker is None \
+                and self.default_deadline_s is None:
+            return attempt()
+
+        def count_retry(_attempt: int, _err: BaseException) -> None:
+            self.retries += 1
+
+        deadline = Deadline(self.env, self.default_deadline_s) \
+            if self.default_deadline_s is not None else None
+        return self.env.process(
+            retry_call(self.env, self._retry_stream, attempt,
+                       self.retry or RetryPolicy(max_attempts=1),
+                       retry_on=RETRYABLE_ETCD_ERRORS,
+                       breaker=self.breaker, deadline=deadline,
+                       on_retry=count_retry),
+            name="etcd-op")
 
     # -- writes ----------------------------------------------------------------
 

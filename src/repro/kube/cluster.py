@@ -179,6 +179,10 @@ class Cluster:
         node = self.api.get_node(node_name)
         self.node_controller.node_failed(node)
 
+    def node_is_up(self, node_name: str) -> bool:
+        """Whether the node is alive (not crashed via :meth:`fail_node`)."""
+        return node_name not in self._dead_nodes
+
     def recover_node(self, node_name: str) -> None:
         if node_name not in self._dead_nodes:
             return

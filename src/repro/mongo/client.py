@@ -8,25 +8,53 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Union
 
+from repro.errors import StoreUnavailableError
 from repro.mongo.collection import Collection
 from repro.mongo.database import MongoDatabase, MongoReplicaSet
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy, retry_call
 from repro.sim.core import Environment, Event
+from repro.sim.rng import RngRegistry
 
 #: Request latency of MongoDB for small documents (an order of magnitude
 #: slower than etcd for the coordination workload, per the paper's rationale).
 DEFAULT_MONGO_LATENCY_S = 0.015
 
+#: Only unreachability is retryable; semantic errors (duplicate key,
+#: malformed update) would fail identically on every attempt.
+RETRYABLE_MONGO_ERRORS = (StoreUnavailableError,)
+
 
 class MongoClient:
-    """Issue MongoDB operations as simulation processes."""
+    """Issue MongoDB operations as simulation processes.
+
+    Mirrors :class:`~repro.etcd.client.EtcdClient`: an optional
+    ``retry`` policy (jitter from the ``resilience:mongo-client``
+    stream), circuit ``breaker`` and per-call ``deadline_s`` turn each
+    operation into a bounded retry loop across replica-set failovers.
+    """
 
     def __init__(self, env: Environment,
                  backend: Union[MongoDatabase, MongoReplicaSet],
-                 latency_s: float = DEFAULT_MONGO_LATENCY_S):
+                 latency_s: float = DEFAULT_MONGO_LATENCY_S,
+                 rng: Optional[RngRegistry] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 deadline_s: Optional[float] = None):
         self.env = env
         self.backend = backend
         self.latency_s = latency_s
+        self.retry = retry
+        self.breaker = breaker
+        self.default_deadline_s = deadline_s
+        self._retry_stream = rng.stream("resilience:mongo-client") \
+            if rng is not None else None
         self.ops_issued = 0
+        self.retries = 0
+        #: Chaos hook for standalone (non-replica-set) backends.
+        self.available = True
+
+    def set_available(self, available: bool) -> None:
+        self.available = available
 
     def _collection(self, name: str) -> Collection:
         return self.backend.collection(name)
@@ -34,11 +62,31 @@ class MongoClient:
     def _call(self, action) -> Event:
         self.ops_issued += 1
 
-        def op():
-            yield self.env.timeout(self.latency_s)
-            return action()
+        def attempt() -> Event:
+            def op():
+                yield self.env.timeout(self.latency_s)
+                if not self.available:
+                    raise StoreUnavailableError("mongodb is unavailable")
+                return action()
 
-        return self.env.process(op(), name="mongo-op")
+            return self.env.process(op(), name="mongo-op")
+
+        if self.retry is None and self.breaker is None \
+                and self.default_deadline_s is None:
+            return attempt()
+
+        def count_retry(_attempt: int, _err: BaseException) -> None:
+            self.retries += 1
+
+        deadline = Deadline(self.env, self.default_deadline_s) \
+            if self.default_deadline_s is not None else None
+        return self.env.process(
+            retry_call(self.env, self._retry_stream, attempt,
+                       self.retry or RetryPolicy(max_attempts=1),
+                       retry_on=RETRYABLE_MONGO_ERRORS,
+                       breaker=self.breaker, deadline=deadline,
+                       on_retry=count_retry),
+            name="mongo-op")
 
     def insert_one(self, collection: str, document: Dict[str, Any]) -> Event:
         return self._call(lambda: self._collection(collection)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, List
 
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreUnavailableError
 from repro.mongo.collection import Collection
 from repro.sim.core import Environment
 
@@ -43,12 +43,22 @@ class MongoReplicaSet:
     """A primary plus N secondaries tailing the primary's oplogs."""
 
     def __init__(self, env: Environment, secondaries: int = 2,
-                 replication_lag_s: float = 0.05, name: str = "rs0"):
+                 replication_lag_s: float = 0.05, name: str = "rs0",
+                 election_delay_s: float = 0.0):
         if secondaries < 0:
             raise StoreError("secondaries must be >= 0")
+        if election_delay_s < 0:
+            raise StoreError("election_delay_s must be >= 0")
         self.env = env
         self.name = name
         self.replication_lag_s = replication_lag_s
+        #: How long the set is primary-less after losing its primary
+        #: (real MongoDB elections take ~2-12s; the default 0 keeps the
+        #: legacy instant-failover behaviour for existing callers).
+        self.election_delay_s = election_delay_s
+        self._election_until: float = 0.0
+        #: (primary_lost_at, new_primary_elected_at, new_primary_index)
+        self.failover_log: List[tuple] = []
         self.members: List[MongoDatabase] = [
             MongoDatabase(f"{name}-{i}") for i in range(secondaries + 1)]
         self._primary_index = 0
@@ -68,8 +78,14 @@ class MongoReplicaSet:
     @property
     def primary(self) -> MongoDatabase:
         if self._primary_index in self._down:
-            raise StoreError("no primary available")
+            if self.env.now < self._election_until:
+                raise StoreUnavailableError("primary election in progress")
+            raise StoreUnavailableError("no primary available")
         return self.members[self._primary_index]
+
+    @property
+    def has_primary(self) -> bool:
+        return self._primary_index not in self._down
 
     @property
     def primary_index(self) -> int:
@@ -84,7 +100,7 @@ class MongoReplicaSet:
     def crash_member(self, index: int) -> None:
         self._down.add(index)
         if index == self._primary_index:
-            self._elect_new_primary()
+            self._begin_election()
 
     def restart_member(self, index: int) -> None:
         """Bring a member back; it resyncs from the primary's full state."""
@@ -92,9 +108,30 @@ class MongoReplicaSet:
         if all(i in self._down for i in range(len(self.members))):
             return
         if self._primary_index in self._down:
-            self._elect_new_primary()
+            self._begin_election()
 
-    def _elect_new_primary(self) -> None:
+    def _begin_election(self) -> None:
+        """Elect a new primary, after ``election_delay_s`` of downtime.
+
+        With the default zero delay failover is instantaneous (legacy
+        behaviour); chaos scenarios set a positive delay so that writes
+        issued mid-election actually observe an unavailable primary.
+        """
+        lost_at = self.env.now
+        if self.election_delay_s <= 0:
+            self._elect_new_primary(lost_at)
+            return
+        self._election_until = max(self._election_until,
+                                   lost_at + self.election_delay_s)
+
+        def election():
+            yield self.env.timeout(self.election_delay_s)
+            if self._primary_index in self._down:
+                self._elect_new_primary(lost_at)
+
+        self.env.process(election(), name=f"mongo-election:{self.name}")
+
+    def _elect_new_primary(self, lost_at: float) -> None:
         candidates = [i for i in range(len(self.members))
                       if i not in self._down]
         if not candidates:
@@ -108,6 +145,7 @@ class MongoReplicaSet:
             self._primary_index = new_primary
             self._epoch += 1
             self._member_epochs[new_primary] = self._epoch
+            self.failover_log.append((lost_at, self.env.now, new_primary))
 
     # -- replication loop ----------------------------------------------------------
 

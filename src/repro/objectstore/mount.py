@@ -10,10 +10,13 @@ the epoch-reuse win the paper's "lessons learned" section argues for.
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from typing import Optional
 
+from repro.errors import ObjectStorageUnavailableError
 from repro.objectstore.service import ObjectStorageService
+from repro.resilience import RetryPolicy, retry_call
 from repro.sim.core import Environment, Event
 
 
@@ -70,15 +73,32 @@ class BucketMount:
     def __init__(self, env: Environment, service: ObjectStorageService,
                  bucket: str, cache: Optional[MountCache] = None,
                  token: Optional[str] = None,
-                 cached_read_latency_s: float = 0.001):
+                 cached_read_latency_s: float = 0.001,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_stream: Optional[random.Random] = None):
         self.env = env
         self.service = service
         self.bucket = bucket
         self.cache = cache
         self.token = token
         self.cached_read_latency_s = cached_read_latency_s
+        #: Optional resilience against object-store outage windows: reads
+        #: and writes retry under this policy (jitter from retry_stream).
+        self.retry = retry
+        self.retry_stream = retry_stream
         self.reads = 0
         self.bytes_read = 0.0
+        self.retries = 0
+
+    def _with_retry(self, attempt):
+        """Run ``attempt`` (→ Event) under the mount's retry policy."""
+
+        def count_retry(_attempt: int, _err: BaseException) -> None:
+            self.retries += 1
+
+        return retry_call(self.env, self.retry_stream, attempt, self.retry,
+                          retry_on=(ObjectStorageUnavailableError,),
+                          on_retry=count_retry)
 
     def read(self, key: str) -> Event:
         """Read a file; resolves with the StoredObject.
@@ -98,7 +118,13 @@ class BucketMount:
             return self.env.process(cached(), name=f"mount-hit:{key}")
 
         def miss():
-            obj = yield self.service.download(self.bucket, key, self.token)
+            if self.retry is not None:
+                obj = yield from self._with_retry(
+                    lambda: self.service.download(self.bucket, key,
+                                                  self.token))
+            else:
+                obj = yield self.service.download(self.bucket, key,
+                                                  self.token)
             self.bytes_read += obj.size_bytes
             if self.cache is not None:
                 self.cache.admit(self.bucket, key, obj.size_bytes)
@@ -110,8 +136,13 @@ class BucketMount:
         """Write a file through to the bucket (checkpoints, results)."""
 
         def upload():
-            obj = yield self.service.upload(self.bucket, key, size_bytes,
-                                            payload, self.token)
+            if self.retry is not None:
+                obj = yield from self._with_retry(
+                    lambda: self.service.upload(self.bucket, key, size_bytes,
+                                                payload, self.token))
+            else:
+                obj = yield self.service.upload(self.bucket, key, size_bytes,
+                                                payload, self.token)
             if self.cache is not None:
                 self.cache.invalidate(self.bucket, key)
             return obj

@@ -16,6 +16,7 @@ from repro.errors import (
     NoSuchBucketError,
     NoSuchObjectError,
     ObjectStorageError,
+    ObjectStorageUnavailableError,
 )
 from repro.sim.core import Environment, Event
 from repro.sim.resources import FairShareLink
@@ -92,11 +93,33 @@ class ObjectStorageService:
                  request_latency_s: float = 0.05):
         self.env = env
         self.link = FairShareLink(env, bandwidth_bps, name="oss")
+        self.nominal_bandwidth_bps = float(bandwidth_bps)
         self.request_latency_s = request_latency_s
         self._buckets: Dict[str, Bucket] = {}
         self._credentials: Dict[str, Credentials] = {}
         self.downloads_started = 0
         self.uploads_started = 0
+        #: Chaos hook: while False every new request fails (after its
+        #: request latency) with ObjectStorageUnavailableError.
+        self.available = True
+
+    # -- chaos hooks -------------------------------------------------------
+
+    def set_available(self, available: bool) -> None:
+        self.available = available
+
+    def begin_outage(self) -> None:
+        self.available = False
+
+    def end_outage(self) -> None:
+        self.available = True
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Brownout: throttle the shared pool; in-flight transfers slow."""
+        self.link.set_capacity(bandwidth_bps)
+
+    def restore_bandwidth(self) -> None:
+        self.link.set_capacity(self.nominal_bandwidth_bps)
 
     # -- admin -------------------------------------------------------------
 
@@ -135,6 +158,9 @@ class ObjectStorageService:
 
         def stream():
             yield self.env.timeout(self.request_latency_s)
+            if not self.available:
+                raise ObjectStorageUnavailableError(
+                    f"object storage unavailable: GET {bucket_name}/{key}")
             yield self.link.transfer(obj.size_bytes)
             return obj
 
@@ -149,6 +175,9 @@ class ObjectStorageService:
 
         def stream():
             yield self.env.timeout(self.request_latency_s)
+            if not self.available:
+                raise ObjectStorageUnavailableError(
+                    f"object storage unavailable: PUT {bucket_name}/{key}")
             yield self.link.transfer(size_bytes)
             return bucket.put(key, size_bytes, payload)
 

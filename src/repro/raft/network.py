@@ -48,7 +48,14 @@ class Network:
         self._down.discard(node_id)
 
     def cut(self, a: str, b: str) -> None:
-        """Cut the bidirectional link between two nodes."""
+        """Cut the bidirectional link between two nodes.
+
+        A node's link to itself cannot be cut: local delivery never
+        crosses the network, so ``cut(a, a)`` is a no-op (a node only
+        loses self-reachability by going down entirely).
+        """
+        if a == b:
+            return
         self._cut_links.add((a, b))
         self._cut_links.add((b, a))
 
@@ -57,9 +64,15 @@ class Network:
         self._cut_links.discard((b, a))
 
     def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
-        """Cut every link crossing the two groups."""
-        for a in group_a:
-            for b in group_b:
+        """Cut every link crossing the two groups.
+
+        A node listed in *both* groups keeps its self-link (local
+        delivery) but loses its links to every other node in either
+        group — the "flaky switch port" topology where one node is cut
+        off from both sides.
+        """
+        for a in sorted(group_a):
+            for b in sorted(group_b):
                 self.cut(a, b)
 
     def heal_all(self) -> None:

@@ -1,0 +1,40 @@
+"""Client-side resilience: retries, deadlines, breakers, write-behind.
+
+The paper's dependability story (Section 5.6, Table 3) assumes that every
+FfDL component keeps retrying its backends across etcd leader elections,
+MongoDB primary failovers and object-store brownouts.  This package is the
+shared vocabulary those clients use:
+
+* :class:`RetryPolicy` — bounded exponential backoff whose jitter is drawn
+  from a named :class:`~repro.sim.rng.RngRegistry` stream, so retried
+  schedules replay deterministically (DET002 stays clean).
+* :class:`Deadline` — a per-call budget in simulated time.
+* :class:`CircuitBreaker` — fail-fast once a backend is clearly down, with
+  half-open probing on a reset timeout.
+* :func:`retry_call` / :func:`retrying_process` — the retry loop itself,
+  written as a *bounded* ``for``-loop over attempts (the shape SAF003
+  enforces for the whole tree).
+* :class:`BufferedJobWriter` — write-behind buffering of MongoDB job
+  records so the platform degrades gracefully instead of losing status
+  updates while the store is down.
+"""
+
+from repro.resilience.buffer import BufferedJobWriter
+from repro.resilience.policy import (
+    TRANSIENT_ERRORS,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    retry_call,
+    retrying_process,
+)
+
+__all__ = [
+    "BufferedJobWriter",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "retry_call",
+    "retrying_process",
+]

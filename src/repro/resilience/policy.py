@@ -1,0 +1,225 @@
+"""Retry policies, deadlines and circuit breakers for backend clients.
+
+Everything here runs on simulated time: backoff sleeps are
+``env.timeout`` events and deadlines compare against ``env.now``, so a
+month of retries replays in milliseconds and two runs with the same seed
+produce byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.errors import (
+    CircuitOpenError,
+    ConsensusError,
+    DeadlineExceededError,
+    ObjectStorageUnavailableError,
+    ResilienceError,
+    RetryExhaustedError,
+    SimulationError,
+    StoreUnavailableError,
+)
+from repro.sim.core import Environment, Event
+
+#: The errors every layer agrees are transient: worth retrying, worth
+#: buffering behind, never worth surfacing as a semantic failure.
+TRANSIENT_ERRORS: Tuple[type, ...] = (
+    StoreUnavailableError,
+    ObjectStorageUnavailableError,
+    ConsensusError,
+    ResilienceError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with (optional) full jitter.
+
+    ``backoff_s(attempt, stream)`` returns the sleep after failed attempt
+    number ``attempt`` (0-based): ``base * multiplier**attempt`` capped at
+    ``max_delay_s``, scaled by a uniform draw from ``stream`` when
+    ``jitter`` is on (AWS-style "full jitter", which decorrelates the
+    retry storms of many clients hitting the same dead backend).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+
+    def backoff_s(self, attempt: int, stream: Optional[random.Random]
+                  ) -> float:
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** attempt)
+        if self.jitter:
+            if stream is None:
+                raise SimulationError(
+                    "jittered RetryPolicy needs an RngRegistry stream")
+            delay *= stream.random()
+        return delay
+
+
+class Deadline:
+    """A fixed point in simulated time that a call must not outlive."""
+
+    def __init__(self, env: Environment, timeout_s: float):
+        if timeout_s < 0:
+            raise ValueError("deadline timeout must be non-negative")
+        self.env = env
+        self.timeout_s = timeout_s
+        self.expires_at = env.now + timeout_s
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.expires_at - self.env.now)
+
+    @property
+    def expired(self) -> bool:
+        return self.env.now >= self.expires_at
+
+
+#: CircuitBreaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker driven by simulated time.
+
+    CLOSED counts consecutive failures; at ``failure_threshold`` it trips
+    OPEN and :meth:`allow` rejects calls for ``reset_timeout_s``.  The
+    first allowance after the reset window is a HALF_OPEN probe: success
+    closes the breaker, failure re-opens it for another window.
+    """
+
+    def __init__(self, env: Environment, failure_threshold: int = 5,
+                 reset_timeout_s: float = 10.0, name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.env = env
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        #: (time, from_state, to_state) — for the chaos audit log.
+        self.transitions: list = []
+
+    def _move(self, to_state: str) -> None:
+        if to_state != self.state:
+            self.transitions.append((self.env.now, self.state, to_state))
+            self.state = to_state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (HALF_OPEN admits one probe.)"""
+        if self.state == OPEN:
+            if self.opened_at is not None and \
+                    self.env.now >= self.opened_at + self.reset_timeout_s:
+                self._move(HALF_OPEN)
+                self._probe_in_flight = False
+            else:
+                return False
+        if self.state == HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or \
+                self.consecutive_failures >= self.failure_threshold:
+            self._move(OPEN)
+            self.opened_at = self.env.now
+            self._probe_in_flight = False
+
+
+def retry_call(env: Environment,
+               stream: Optional[random.Random],
+               make_attempt: Callable[[], object],
+               policy: RetryPolicy,
+               retry_on: Tuple[type, ...] = TRANSIENT_ERRORS,
+               breaker: Optional[CircuitBreaker] = None,
+               deadline: Optional[Deadline] = None,
+               on_retry: Optional[Callable[[int, BaseException], None]]
+               = None):
+    """Generator: run ``make_attempt`` under ``policy``; ``yield from`` it.
+
+    ``make_attempt`` is called once per attempt; if it returns an
+    :class:`Event` the attempt's outcome is the event's outcome,
+    otherwise its return value (or synchronous raise) is the outcome.
+    Only ``retry_on`` exceptions are retried; everything else propagates
+    on the first attempt.  Raises :class:`RetryExhaustedError` when the
+    budget runs out, :class:`CircuitOpenError` when the breaker rejects
+    the call and :class:`DeadlineExceededError` when the deadline passes
+    between attempts.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                f"deadline of {deadline.timeout_s}s exceeded after "
+                f"{attempt} attempt(s)") from last_error
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit {breaker.name!r} is {breaker.state}"
+            ) from last_error
+        try:
+            result = make_attempt()
+            if isinstance(result, Event):
+                result = yield result
+        except retry_on as err:
+            if breaker is not None:
+                breaker.record_failure()
+            last_error = err
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, err)
+            delay = policy.backoff_s(attempt, stream)
+            if deadline is not None:
+                delay = min(delay, deadline.remaining_s)
+            yield env.timeout(delay)
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        return result
+    raise RetryExhaustedError(
+        f"call failed after {policy.max_attempts} attempt(s): "
+        f"{last_error!r}") from last_error
+
+
+def retrying_process(env: Environment, stream, make_attempt, policy,
+                     retry_on: Tuple[type, ...] = TRANSIENT_ERRORS,
+                     breaker: Optional[CircuitBreaker] = None,
+                     deadline: Optional[Deadline] = None,
+                     on_retry=None, name: str = "retrying") -> Event:
+    """:func:`retry_call` wrapped as a standalone simulation process."""
+    return env.process(
+        retry_call(env, stream, make_attempt, policy, retry_on=retry_on,
+                   breaker=breaker, deadline=deadline, on_retry=on_retry),
+        name=name)

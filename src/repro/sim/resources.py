@@ -132,6 +132,18 @@ class FairShareLink:
         self._kick()
         return done
 
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Re-rate the link mid-flight (brownout / recovery).
+
+        Progress already made at the old rate is settled first, so
+        in-flight transfers finish their remaining bytes at the new rate.
+        """
+        if capacity_bps <= 0:
+            raise SimulationError("capacity must be positive")
+        self._drain_progress()
+        self.capacity_bps = float(capacity_bps)
+        self._kick()
+
     # -- internals ----------------------------------------------------------
 
     def _drain_progress(self) -> None:

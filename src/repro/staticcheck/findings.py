@@ -23,6 +23,9 @@ RULE_CATALOG = {
                "catch Interrupt first and re-raise it"),
     "SAF002": ("simulation process generator yields a non-Event literal; "
                "processes may only yield Event subclasses"),
+    "SAF003": ("unbounded retry loop: 'while True' around a backoff sleep "
+               "with no attempt cap or deadline; bound it with "
+               "for-range(max_attempts) or a Deadline check"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
 }

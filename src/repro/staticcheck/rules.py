@@ -334,6 +334,91 @@ class NonEventYieldRule(Rule):
         return findings
 
 
+class UnboundedRetryRule(Rule):
+    """SAF003: retry loops must be bounded.
+
+    The shape this hunts is ``while True:`` wrapped around a
+    try/except whose handler sleeps (``yield env.timeout(...)``) and
+    loops again — a retry loop with no attempt cap, which under a
+    permanent outage spins forever and hides the failure instead of
+    surfacing it.  The loop is considered bounded when anything in it
+    references an attempt counter or deadline (a name containing
+    ``attempt``/``deadline``/``retries``/``remaining``/``expired``);
+    the canonical compliant shape is
+    ``for attempt in range(policy.max_attempts)`` (see
+    :func:`repro.resilience.retry_call`).  Pure waiter loops (drain
+    loops, samplers) are not flagged: only a *handler* that sleeps
+    marks the loop as a retry loop.
+    """
+
+    code = "SAF003"
+
+    _BOUND_TOKENS = ("attempt", "deadline", "retries", "remaining",
+                     "expired")
+
+    @staticmethod
+    def _walk_in_scope(roots):
+        """Walk nodes without descending into nested function bodies."""
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _handler_sleeps(cls, handler: ast.ExceptHandler) -> bool:
+        for node in cls._walk_in_scope(handler.body):
+            if isinstance(node, ast.Yield) \
+                    and isinstance(node.value, ast.Call) \
+                    and isinstance(node.value.func, ast.Attribute) \
+                    and node.value.func.attr == "timeout":
+                receiver = dotted_name(node.value.func.value)
+                if receiver is not None and \
+                        receiver.rsplit(".", 1)[-1] == "env":
+                    return True
+        return False
+
+    @classmethod
+    def _has_bound_signal(cls, loop: ast.While) -> bool:
+        for node in cls._walk_in_scope([loop]):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is not None and any(token in name.lower()
+                                        for token in cls._BOUND_TOKENS):
+                return True
+        return False
+
+    def check(self, ctx) -> List[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not (isinstance(node.test, ast.Constant)
+                    and node.test.value is True):
+                continue
+            sleeping_handlers = [
+                sub for sub in self._walk_in_scope(node.body)
+                if isinstance(sub, ast.ExceptHandler)
+                and self._handler_sleeps(sub)]
+            if not sleeping_handlers:
+                continue
+            if self._has_bound_signal(node):
+                continue
+            findings.append(self.finding(
+                ctx, node,
+                "'while True' retry loop backs off in its except handler "
+                "but has no attempt cap or deadline; use 'for attempt in "
+                "range(policy.max_attempts)' (repro.resilience.retry_call)"
+            ))
+        return findings
+
+
 #: Every static rule, in catalog order.
 ALL_RULES = (
     WallClockRule(),
@@ -341,4 +426,5 @@ ALL_RULES = (
     UnorderedIterationRule(),
     InterruptSwallowRule(),
     NonEventYieldRule(),
+    UnboundedRetryRule(),
 )

@@ -24,6 +24,7 @@ from repro.core import statuses as st
 from repro.kube.events import FAILED_SCHEDULING
 from repro.kube.resources import NodeCapacity
 from repro.sim.core import Environment
+from repro.sim.failure import FaultEvent, FaultInjector, FaultSpec
 from repro.sim.rng import RngRegistry
 from repro.workloads.trace import SECONDS_PER_DAY
 
@@ -71,6 +72,8 @@ class FailureStudyResult:
     deletions: List[Tuple[float, str, str, str]] = field(
         default_factory=list)
     learner_pods_created: int = 0
+    #: The injector's audit log of every node crash (time, target, outage).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     # -- Figure 6 ----------------------------------------------------------
 
@@ -167,19 +170,28 @@ def run_failure_study(config: FailureStudyConfig) -> FailureStudyResult:
     stream = rng.stream("failure-study")
 
     # -- node fault injection --------------------------------------------------
-    def node_faults(node_name: str):
-        while True:
-            wait = stream.expovariate(
-                1.0 / (config.node_crash_mtbf_days * SECONDS_PER_DAY))
-            yield env.timeout(wait)
-            result.node_crashes += 1
-            platform.cluster.fail_node(node_name)
-            outage = stream.expovariate(1.0 / config.node_outage_mean_s)
-            yield env.timeout(max(120.0, outage))
-            platform.cluster.recover_node(node_name)
+    # Crashes run through the shared FaultInjector so every occurrence
+    # lands in its audit log (and each node draws from its own stream,
+    # decoupling the crash schedule from the job-churn draws below).
+    injector = FaultInjector(env, rng)
+    crash_spec = FaultSpec(
+        kind="node-crash",
+        mtbf_s=config.node_crash_mtbf_days * SECONDS_PER_DAY,
+        duration_s=config.node_outage_mean_s,
+        # A crashed node stays down at least as long as detection+eviction.
+        min_duration_s=120.0)
+
+    def fail_node(event: FaultEvent) -> None:
+        result.node_crashes += 1
+        platform.cluster.fail_node(event.target)
+
+    def recover_node(event: FaultEvent) -> None:
+        platform.cluster.recover_node(event.target)
 
     for node_name in list(platform.cluster.kubelets):
-        env.process(node_faults(node_name), name=f"faults:{node_name}")
+        injector.inject_recurring(crash_spec, node_name,
+                                  on_fault=fail_node,
+                                  on_recover=recover_node)
 
     # -- job churn ------------------------------------------------------------------
     size_mix = [((1, 1), 0.62), ((1, 2), 0.18), ((2, 1), 0.12),
@@ -242,4 +254,5 @@ def run_failure_study(config: FailureStudyConfig) -> FailureStudyResult:
     result.jobs_completed = sum(
         1 for job in platform.jobs.values()
         if job.status.current == st.COMPLETED)
+    result.fault_events = injector.events_of_kind("node-crash")
     return result

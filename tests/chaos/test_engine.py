@@ -1,0 +1,156 @@
+"""Tests for the deterministic chaos engine and its scenarios."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    InjectionStep,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+from repro.chaos.cli import main
+from repro.chaos.engine import FAULT_KINDS
+from repro.errors import SimulationError
+
+#: A fast scenario for unit tests: two jobs, one Mongo failover and one
+#: etcd leader kill inside a short horizon.
+TINY = Scenario(
+    name="tiny",
+    description="unit-test scenario",
+    steps=(
+        InjectionStep(at_s=30.0, kind="mongo-primary-kill",
+                      duration_s=20.0),
+        InjectionStep(at_s=60.0, kind="etcd-leader-kill",
+                      duration_s=15.0),
+    ),
+    horizon_s=240.0,
+    settle_s=120.0,
+    jobs=2,
+    job_interarrival_s=10.0,
+    job_iterations=20,
+)
+
+
+def run_tiny(seed=0):
+    return ChaosEngine(TINY, seed=seed).run()
+
+
+# -- scenario data ---------------------------------------------------------
+
+
+def test_injection_step_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        InjectionStep(at_s=1.0, kind="meteor-strike")
+
+
+def test_injection_step_rejects_negative_times():
+    with pytest.raises(ValueError):
+        InjectionStep(at_s=-1.0, kind="oss-outage")
+    with pytest.raises(ValueError):
+        InjectionStep(at_s=1.0, kind="oss-outage", duration_s=-1.0)
+
+
+def test_get_scenario_resolves_and_rejects():
+    assert get_scenario("everything-at-once").name == "everything-at-once"
+    with pytest.raises(KeyError):
+        get_scenario("no-such-scenario")
+
+
+def test_named_scenarios_are_consistent():
+    expected = {"etcd-leader-kill", "mongo-failover-under-churn",
+                "objectstore-brownout", "rolling-node-crashes",
+                "everything-at-once"}
+    assert set(SCENARIOS) == expected
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.steps
+    # The combined scenario exercises every fault kind.
+    combined = {step.kind for step in
+                SCENARIOS["everything-at-once"].steps}
+    assert combined == set(FAULT_KINDS)
+
+
+# -- engine runs -----------------------------------------------------------
+
+
+def test_tiny_scenario_passes_all_hypotheses():
+    report = run_tiny()
+    assert report.passed
+    phases = {h.phase for h in report.hypotheses}
+    assert phases == {"steady-state:before", "steady-state:after"}
+    assert report.counters["jobs-submitted"] == 2
+    assert report.counters["writes-flushed"] == \
+        report.counters["writes-enqueued"]
+    assert report.counters["write-errors"] == 0
+    assert report.counters["faults-injected"] == 2
+
+
+def test_tiny_scenario_records_recoveries():
+    report = run_tiny()
+    kinds = [rec.kind for rec in report.recoveries]
+    assert sorted(kinds) == ["etcd-leader-kill", "mongo-primary-kill"]
+    assert all(not rec.timed_out for rec in report.recoveries)
+    assert all(rec.duration_s > 0 for rec in report.recoveries)
+
+
+def test_audit_log_merges_injector_and_engine_events():
+    report = run_tiny()
+    assert any("fault mongo-primary-kill" in line
+               for line in report.audit_lines)
+    assert any("inject etcd-leader-kill" in line
+               for line in report.audit_lines)
+    assert any("hypothesis" in line for line in report.audit_lines)
+    assert any("submitted job-" in line for line in report.audit_lines)
+    times = [float(line.split("=", 1)[1].split()[0])
+             for line in report.audit_lines]
+    assert times == sorted(times)
+
+
+def test_same_seed_is_deterministic_different_seed_diverges():
+    first = run_tiny(seed=3)
+    second = run_tiny(seed=3)
+    assert first.audit_lines == second.audit_lines
+    other = run_tiny(seed=4)
+    assert first.audit_lines != other.audit_lines
+
+
+def test_engine_is_single_use():
+    engine = ChaosEngine(TINY, seed=0)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_report_renders_text_and_markdown():
+    report = run_tiny()
+    text = report.render("text")
+    assert "hypotheses:" in text and "recovery times:" in text
+    markdown = report.render("md", audit=False)
+    assert markdown.startswith("## Chaos scenario")
+    assert "audit log" not in markdown
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_list_prints_scenarios(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_cli_rejects_unknown_scenario(capsys):
+    assert main(["--scenario", "no-such"]) == 2
+    assert "unknown scenario" in capsys.readouterr().out
+
+
+def test_cli_runs_scenario_with_determinism_check(monkeypatch, capsys):
+    monkeypatch.setitem(SCENARIOS, "tiny", TINY)
+    code = main(["--scenario", "tiny", "--seed", "0", "--no-audit",
+                 "--check-determinism"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "determinism check passed" in out
+    assert "chaos scenario 'tiny' seed=0: PASS" in out

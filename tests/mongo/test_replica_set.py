@@ -102,3 +102,78 @@ def test_client_latency_applied():
         return env.now
 
     assert env.run_until_complete(env.process(flow())) == pytest.approx(0.02)
+
+# -- delayed elections (chaos realism) -------------------------------------
+
+
+def test_election_delay_opens_primaryless_window():
+    from repro.errors import StoreUnavailableError
+
+    env = Environment()
+    rs = MongoReplicaSet(env, secondaries=2, election_delay_s=5.0)
+    rs.collection("jobs").insert_one({"_id": "j1"})
+    env.run(until=1.0)
+    rs.crash_member(0)
+    assert not rs.has_primary
+    with pytest.raises(StoreUnavailableError):
+        rs.primary
+    env.run(until=1.0 + 5.5)
+    assert rs.has_primary
+    assert rs.primary_index != 0
+    assert len(rs.failover_log) == 1
+    lost_at, elected_at, new_primary = rs.failover_log[0]
+    assert elected_at - lost_at == pytest.approx(5.0)
+    assert new_primary == rs.primary_index
+
+
+def test_election_delay_restart_cancels_pending_election():
+    env = Environment()
+    rs = MongoReplicaSet(env, secondaries=2, election_delay_s=5.0)
+    rs.crash_member(0)
+
+    def restart():
+        yield env.timeout(2.0)
+        rs.restart_member(0)
+
+    env.process(restart())
+    env.run(until=20.0)
+    # The old primary came back inside the election window: it stays
+    # primary and no failover is recorded.
+    assert rs.primary_index == 0
+    assert rs.failover_log == []
+
+
+def test_failover_under_concurrent_writes_loses_nothing():
+    """Writers retrying through a delayed election land every document."""
+    from repro.resilience import RetryPolicy
+    from repro.sim import RngRegistry
+
+    env = Environment()
+    rs = MongoReplicaSet(env, secondaries=2, election_delay_s=2.0)
+    client = MongoClient(env, rs, rng=RngRegistry(7),
+                         retry=RetryPolicy(max_attempts=8, base_delay_s=0.2,
+                                           max_delay_s=2.0))
+    written = []
+
+    def writer(index):
+        def one_write():
+            yield env.timeout(index * 0.5)
+            yield client.insert_one("jobs", {"_id": f"j{index}"})
+            written.append(index)
+        return one_write
+
+    for index in range(12):
+        env.process(writer(index)(), name=f"writer-{index}")
+
+    def chaos():
+        yield env.timeout(1.5)
+        rs.crash_member(rs.primary_index)
+        yield env.timeout(3.0)
+        rs.crash_member(rs.primary_index)
+
+    env.process(chaos(), name="chaos")
+    env.run(until=60.0)
+    assert sorted(written) == list(range(12))
+    docs = rs.collection("jobs").count()
+    assert docs == 12
+    assert len(rs.failover_log) == 2

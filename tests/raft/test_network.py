@@ -121,3 +121,51 @@ def test_unknown_destination_counts_as_drop():
     net.send("a", "ghost", "x")
     env.run()
     assert net.messages_dropped == 1
+
+# -- asymmetric partition semantics ----------------------------------------
+
+
+def test_self_partition_is_noop():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: got.append(m))
+    net.cut("a", "a")
+    net.send("a", "a", "loopback")
+    env.run()
+    # A node cannot cut its own link: local delivery never crosses the
+    # network.
+    assert got == ["loopback"]
+    assert net.is_reachable("a", "a")
+
+
+def test_node_in_both_groups_loses_every_cross_link():
+    env, net = make_net()
+    inbox = {name: [] for name in "abc"}
+    for name in "abc":
+        net.register(name, lambda s, m, name=name: inbox[name].append(m))
+    # "b" sits in both groups: the flaky-switch-port topology.
+    net.partition({"a", "b"}, {"b", "c"})
+    assert not net.is_reachable("a", "b")
+    assert not net.is_reachable("c", "b")
+    assert not net.is_reachable("a", "c")
+    # ...but keeps its self-link.
+    assert net.is_reachable("b", "b")
+    net.send("a", "b", "x")
+    net.send("c", "b", "y")
+    net.send("b", "b", "self")
+    env.run()
+    assert inbox["b"] == ["self"]
+
+
+def test_heal_restores_partitioned_pair():
+    env, net = make_net()
+    got = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: got.append(m))
+    net.partition({"a"}, {"b"})
+    assert not net.is_reachable("a", "b")
+    net.heal("a", "b")
+    assert net.is_reachable("a", "b")
+    net.send("a", "b", "after-heal")
+    env.run()
+    assert got == ["after-heal"]

@@ -1,0 +1,139 @@
+"""Unit tests for the write-behind BufferedJobWriter."""
+
+from repro.errors import DuplicateKeyError, StoreUnavailableError
+from repro.resilience import BufferedJobWriter, RetryPolicy
+from repro.sim import Environment, RngRegistry
+
+
+class FakeMongoClient:
+    """Scripted client: records applied ops, fails while unavailable."""
+
+    def __init__(self, env, latency_s=0.01):
+        self.env = env
+        self.latency_s = latency_s
+        self.available = True
+        self.applied = []
+        self.reject_duplicates = False
+        self._seen_ids = set()
+
+    def _op(self, op, collection, payload):
+        def run():
+            yield self.env.timeout(self.latency_s)
+            if not self.available:
+                raise StoreUnavailableError("down")
+            if op == "insert" and self.reject_duplicates:
+                doc_id = payload[0].get("_id")
+                if doc_id in self._seen_ids:
+                    raise DuplicateKeyError(doc_id)
+                self._seen_ids.add(doc_id)
+            self.applied.append((self.env.now, op, collection, payload))
+        return self.env.process(run(), name=f"fake-mongo-{op}")
+
+    def insert_one(self, collection, document):
+        return self._op("insert", collection, (document,))
+
+    def update_one(self, collection, query, update, upsert=False):
+        return self._op("update", collection, (query, update, upsert))
+
+
+def make_writer(seed=0, cooldown_s=0.5):
+    env = Environment()
+    client = FakeMongoClient(env)
+    writer = BufferedJobWriter(
+        env, client, stream=RngRegistry(seed).stream("test-writer"),
+        policy=RetryPolicy(max_attempts=3, base_delay_s=0.05,
+                           max_delay_s=0.2, jitter=False),
+        cooldown_s=cooldown_s)
+    return env, client, writer
+
+
+def test_writes_flush_in_fifo_order():
+    env, client, writer = make_writer()
+    writer.insert("jobs", {"_id": "j1"})
+    writer.update("jobs", {"_id": "j1"}, {"$set": {"status": "RUNNING"}})
+    writer.insert("jobs", {"_id": "j2"})
+    env.run(until=5.0)
+    assert [entry[1] for entry in client.applied] == \
+        ["insert", "update", "insert"]
+    assert writer.total_flushed == 3
+    assert writer.pending == 0
+    assert not writer.degraded
+
+
+def test_done_event_fires_when_durable():
+    env, client, writer = make_writer()
+    durable_at = []
+
+    def submitter():
+        write = writer.insert("jobs", {"_id": "j1"})
+        yield write
+        durable_at.append(env.now)
+
+    env.process(submitter())
+    env.run(until=5.0)
+    assert durable_at and durable_at[0] > 0
+
+
+def test_outage_buffers_then_flushes_everything_in_order():
+    env, client, writer = make_writer()
+    client.available = False
+    for index in range(5):
+        writer.insert("jobs", {"_id": f"j{index}"})
+
+    def recover():
+        yield env.timeout(10.0)
+        client.available = True
+
+    env.process(recover())
+    env.run(until=30.0)
+    assert writer.pending == 0
+    assert writer.total_flushed == 5
+    assert writer.write_errors == 0
+    applied_ids = [payload[0]["_id"] for _t, op, _c, payload
+                   in client.applied]
+    assert applied_ids == [f"j{index}" for index in range(5)]
+    # Nothing landed before recovery.
+    assert all(t >= 10.0 for t, *_rest in client.applied)
+
+
+def test_degraded_mode_entered_and_left():
+    env, client, writer = make_writer()
+    client.available = False
+    writer.insert("jobs", {"_id": "j1"})
+    env.run(until=3.0)
+    assert writer.degraded
+    assert writer.degraded_event().triggered
+    client.available = True
+    env.run(until=10.0)
+    assert not writer.degraded
+    assert len(writer.degraded_periods) == 1
+    entered, recovered = writer.degraded_periods[0]
+    assert entered < recovered
+    # The degraded event is re-armed for the next outage.
+    assert not writer.degraded_event().triggered
+
+
+def test_semantic_errors_are_dropped_not_retried_forever():
+    env, client, writer = make_writer()
+    client.reject_duplicates = True
+    writer.insert("jobs", {"_id": "j1"})
+    writer.insert("jobs", {"_id": "j1"})  # duplicate: semantic error
+    writer.insert("jobs", {"_id": "j2"})
+    env.run(until=10.0)
+    assert writer.pending == 0  # the queue never wedges
+    assert writer.total_flushed == 2
+    assert writer.write_errors == 1
+    assert not writer.degraded
+
+
+def test_peak_pending_tracks_backlog():
+    env, client, writer = make_writer()
+    client.available = False
+    for index in range(7):
+        writer.insert("jobs", {"_id": f"j{index}"})
+    env.run(until=2.0)
+    assert writer.peak_pending == 7
+    client.available = True
+    env.run(until=20.0)
+    assert writer.pending == 0
+    assert writer.peak_pending == 7

@@ -77,3 +77,95 @@ def test_record_appends_detail():
     ev = inj.record("manual", "pod-7", extra="info")
     assert ev.detail == {"extra": "info"}
     assert inj.log == [ev]
+
+def test_stop_cancels_pending_one_shot():
+    # Regression: stop() used to let a fault whose delay timeout was
+    # already pending still fire; it must be cancelled outright.
+    env, inj = make_injector()
+    hits = []
+    inj.inject_once("crash", "n", delay_s=10.0,
+                    on_fault=lambda ev: hits.append(ev))
+
+    def stopper():
+        yield env.timeout(5.0)
+        inj.stop()
+
+    env.process(stopper())
+    env.run()
+    assert hits == []
+    assert inj.log == []
+
+
+def test_stop_cancels_pending_recurring_fault():
+    env, inj = make_injector()
+    inj.inject_recurring(FaultSpec("blip", mtbf_s=50.0), "n",
+                         on_fault=lambda ev: None)
+
+    def stopper():
+        # Stop while the first inter-arrival timeout is still pending.
+        yield env.timeout(0.001)
+        inj.stop()
+
+    env.process(stopper())
+    env.run(until=10_000)
+    assert inj.log == []
+
+
+def test_stop_lets_inflight_outage_recover():
+    # A fault that already fired must still run its recovery callback —
+    # stop() never leaves an outage half-applied.
+    env, inj = make_injector()
+    trace = []
+    inj.inject_once("outage", "n", delay_s=1.0, duration_s=10.0,
+                    on_fault=lambda ev: trace.append(("down", env.now)),
+                    on_recover=lambda ev: trace.append(("up", env.now)))
+
+    def stopper():
+        yield env.timeout(5.0)
+        inj.stop()
+
+    env.process(stopper())
+    env.run()
+    assert trace == [("down", 1.0), ("up", 11.0)]
+
+
+def test_fault_spec_jitter_shim_maps_to_deterministic_duration():
+    with pytest.warns(DeprecationWarning):
+        legacy_off = FaultSpec("k", mtbf_s=1.0, duration_s=2.0, jitter=0.0)
+    assert legacy_off.deterministic_duration is True
+    with pytest.warns(DeprecationWarning):
+        legacy_on = FaultSpec("k", mtbf_s=1.0, duration_s=2.0, jitter=1.0)
+    assert legacy_on.deterministic_duration is False
+
+
+def test_fault_spec_deterministic_duration_must_be_bool():
+    with pytest.raises(TypeError):
+        FaultSpec("k", mtbf_s=1.0, deterministic_duration=0.5)
+
+
+def test_deterministic_duration_yields_fixed_outages():
+    env, inj = make_injector()
+    spec = FaultSpec("outage", mtbf_s=30.0, duration_s=3.0,
+                     deterministic_duration=True)
+    downs, ups = [], []
+    inj.inject_recurring(spec, "n",
+                         on_fault=lambda ev: downs.append(env.now),
+                         on_recover=lambda ev: ups.append(env.now))
+    env.run(until=2000)
+    assert len(downs) >= 3
+    for down, up in zip(downs, ups):
+        assert up - down == pytest.approx(3.0)
+
+
+def test_min_duration_floor_applies_to_sampled_outages():
+    env, inj = make_injector()
+    spec = FaultSpec("outage", mtbf_s=20.0, duration_s=0.5,
+                     min_duration_s=5.0)
+    downs, ups = [], []
+    inj.inject_recurring(spec, "n",
+                         on_fault=lambda ev: downs.append(env.now),
+                         on_recover=lambda ev: ups.append(env.now))
+    env.run(until=2000)
+    assert len(downs) >= 3
+    for down, up in zip(downs, ups):
+        assert up - down >= 5.0

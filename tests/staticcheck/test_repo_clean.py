@@ -43,6 +43,14 @@ VIOLATIONS = {
             yield env.timeout(1)
             yield 5
     """,
+    "SAF003": """
+        def fetch(env, client):
+            while True:
+                try:
+                    return client.get()
+                except OSError:
+                    yield env.timeout(1.0)
+    """,
 }
 
 

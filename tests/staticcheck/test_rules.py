@@ -242,6 +242,82 @@ def test_saf002_ignores_nested_data_generator_inside_process():
     """) == []
 
 
+# -- SAF003: unbounded retry loops ----------------------------------------
+
+
+def test_saf003_flags_while_true_retry_with_backoff_sleep():
+    assert codes("""
+        def fetch(env, client):
+            while True:
+                try:
+                    return client.get()
+                except OSError:
+                    yield env.timeout(1.0)
+    """) == ["SAF003"]
+
+
+def test_saf003_flags_self_env_backoff():
+    assert codes("""
+        class C:
+            def drain(self):
+                while True:
+                    try:
+                        self.flush()
+                    except ValueError:
+                        yield self.env.timeout(self.cooldown_s)
+    """) == ["SAF003"]
+
+
+def test_saf003_allows_bounded_for_range_retry():
+    assert codes("""
+        def fetch(env, client, policy):
+            for attempt in range(policy.max_attempts):
+                try:
+                    return client.get()
+                except OSError:
+                    yield env.timeout(policy.backoff_s(attempt))
+    """) == []
+
+
+def test_saf003_allows_while_true_with_deadline_check():
+    assert codes("""
+        def fetch(env, client, deadline):
+            while True:
+                if deadline.expired:
+                    raise TimeoutError()
+                try:
+                    return client.get()
+                except OSError:
+                    yield env.timeout(1.0)
+    """) == []
+
+
+def test_saf003_allows_loop_without_sleeping_handler():
+    # Catching-and-counting without a backoff sleep is not a retry loop.
+    assert codes("""
+        def pump(env, source):
+            while True:
+                try:
+                    source.poll()
+                except ValueError:
+                    continue
+                yield env.timeout(1.0)
+    """) == []
+
+
+def test_saf003_ignores_sleeps_in_nested_functions():
+    assert codes("""
+        def outer(env):
+            while True:
+                def helper():
+                    try:
+                        work()
+                    except OSError:
+                        yield env.timeout(1.0)
+                yield env.timeout(5.0)
+    """) == []
+
+
 # -- suppressions ----------------------------------------------------------
 
 

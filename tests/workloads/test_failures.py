@@ -24,6 +24,17 @@ def test_node_crashes_recorded(study):
     assert study.node_crashes >= 1
 
 
+def test_node_crashes_come_from_fault_injector_audit(study):
+    # The study drives crashes through FaultInjector, so every crash has
+    # a matching audit record.
+    assert len(study.fault_events) == study.node_crashes
+    assert all(event.kind == "node-crash" for event in study.fault_events)
+    assert all(event.target.startswith("node-")
+               for event in study.fault_events)
+    times = [event.time for event in study.fault_events]
+    assert times == sorted(times)
+
+
 def test_learners_dominate_scheduling_failures(study):
     fractions = study.failed_type_fractions()
     assert fractions.get("learner", 0) > 0.5
