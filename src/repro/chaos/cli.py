@@ -2,7 +2,8 @@
 
 Runs a named scenario and prints its report.  Exit status is 0 when all
 steady-state hypotheses pass, 1 when any fails, and 2 when
-``--check-determinism`` finds a divergent audit log.
+``--check-determinism`` or ``--perturb`` finds a divergent audit log or
+end state.
 """
 
 from __future__ import annotations
@@ -28,6 +29,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check-determinism", action="store_true",
                         help="run the scenario twice and fail unless the "
                              "audit logs are identical")
+    parser.add_argument("--tiebreak-seed", type=int, default=0,
+                        help="heap tie-break permutation seed "
+                             "(0 = FIFO, the default)")
+    parser.add_argument("--perturb", type=int, default=0, metavar="N",
+                        help="re-run the scenario under N additional "
+                             "tie-break permutations and fail unless "
+                             "audit logs and end states are identical")
+    parser.add_argument("--detect-races", action="store_true",
+                        help="attach the vector-clock schedule-"
+                             "sensitivity detector (conflicts fail the "
+                             "run)")
     parser.add_argument("--format", choices=("text", "md"), default="text",
                         help="report format (default text)")
     parser.add_argument("--no-audit", action="store_true",
@@ -46,10 +58,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as err:
         print(err.args[0])
         return 2
-    report = ChaosEngine(scenario, seed=args.seed).run()
+    def run_once(tiebreak_seed: int):
+        return ChaosEngine(scenario, seed=args.seed,
+                           tiebreak_seed=tiebreak_seed,
+                           detect_races=args.detect_races).run()
+
+    report = run_once(args.tiebreak_seed)
     print(report.render(args.format, audit=not args.no_audit))
+    if args.perturb:
+        for offset in range(1, args.perturb + 1):
+            perturbed_seed = args.tiebreak_seed + offset
+            perturbed = run_once(perturbed_seed)
+            if perturbed.audit_lines != report.audit_lines \
+                    or perturbed.end_state() != report.end_state():
+                print(f"perturbation check FAILED: tiebreak seed "
+                      f"{perturbed_seed} diverges from "
+                      f"{args.tiebreak_seed} (audit "
+                      f"{len(report.audit_lines)} vs "
+                      f"{len(perturbed.audit_lines)} lines)")
+                return 2
+        print(f"perturbation check passed: {args.perturb} permuted "
+              f"schedules reproduce the audit log and end state")
     if args.check_determinism:
-        rerun = ChaosEngine(scenario, seed=args.seed).run()
+        rerun = run_once(args.tiebreak_seed)
         if rerun.audit_lines != report.audit_lines:
             diverging = sum(1 for a, b in
                             zip(report.audit_lines, rerun.audit_lines)

@@ -27,8 +27,9 @@ from repro.errors import SimulationError, StoreUnavailableError
 from repro.etcd.replicated import ReplicatedEtcd
 from repro.mongo.database import MongoReplicaSet
 from repro.resilience import RetryPolicy, TRANSIENT_ERRORS
-from repro.sim.core import Environment
+from repro.sim.core import Environment, OBSERVER
 from repro.sim.failure import FaultEvent, FaultInjector
+from repro.sim.race import RaceDetector
 from repro.sim.rng import RngRegistry
 
 #: Paper recovery-time calibration (Table 3), for the kinds that map onto
@@ -113,10 +114,28 @@ class ChaosReport:
     recoveries: List[RecoveryRecord]
     audit_lines: List[str]
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Heap tie-break permutation the run used (0 = FIFO).
+    tiebreak_seed: int = 0
+    #: job_id -> final status; part of the end-state witness.
+    job_states: Dict[str, str] = field(default_factory=dict)
+    #: Rendered schedule-sensitivity conflicts (empty unless the run
+    #: was started with ``detect_races=True`` and found some).
+    race_lines: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        return all(h.ok for h in self.hypotheses) and bool(self.hypotheses)
+        return all(h.ok for h in self.hypotheses) and bool(self.hypotheses) \
+            and not self.race_lines
+
+    def end_state(self) -> dict:
+        """The schedule-independence witness: everything that must be
+        identical across tie-break perturbations of the same seed."""
+        return {
+            "counters": dict(self.counters),
+            "job_states": dict(self.job_states),
+            "hypotheses": [(h.phase, h.name, h.ok)
+                           for h in self.hypotheses],
+        }
 
     def render(self, fmt: str = "text", audit: bool = True) -> str:
         if fmt == "md":
@@ -137,8 +156,13 @@ class ChaosReport:
         return rows
 
     def _render_text(self, audit: bool) -> str:
-        lines = [f"chaos scenario {self.scenario!r} seed={self.seed}: "
+        lines = [f"chaos scenario {self.scenario!r} seed={self.seed} "
+                 f"tiebreak={self.tiebreak_seed}: "
                  f"{'PASS' if self.passed else 'FAIL'}"]
+        if self.race_lines:
+            lines.append(f"schedule-sensitive conflicts "
+                         f"({len(self.race_lines)}):")
+            lines.extend(f"  {entry}" for entry in self.race_lines)
         lines.append("counters: " + " ".join(
             f"{key}={value:g}" for key, value in self.counters.items()))
         lines.append("hypotheses:")
@@ -155,8 +179,14 @@ class ChaosReport:
         return "\n".join(lines)
 
     def _render_md(self, audit: bool) -> str:
-        lines = [f"## Chaos scenario `{self.scenario}` (seed {self.seed}) — "
+        lines = [f"## Chaos scenario `{self.scenario}` (seed {self.seed}, "
+                 f"tiebreak {self.tiebreak_seed}) — "
                  f"{'PASS' if self.passed else 'FAIL'}", ""]
+        if self.race_lines:
+            lines.append(f"**{len(self.race_lines)} schedule-sensitive "
+                         f"conflict(s):**")
+            lines.extend(f"- `{entry}`" for entry in self.race_lines)
+            lines.append("")
         lines.append("| counter | value |")
         lines.append("|---|---|")
         for key, value in self.counters.items():
@@ -212,10 +242,15 @@ class ChaosEngine:
 
     def __init__(self, scenario: Scenario, seed: int = 0,
                  config: Optional[PlatformConfig] = None,
-                 gpu_nodes: int = 4, gpus_per_node: int = 4):
+                 gpu_nodes: int = 4, gpus_per_node: int = 4,
+                 tiebreak_seed: int = 0, detect_races: bool = False):
         self.scenario = scenario
         self.seed = seed
-        self.env = Environment()
+        self.tiebreak_seed = tiebreak_seed
+        self.env = Environment(tiebreak_seed=tiebreak_seed)
+        #: Attach the vector-clock monitor *before* any substrate is
+        #: built so every access from t=0 is covered.
+        self.race_detector = RaceDetector(self.env) if detect_races else None
         self.rng = RngRegistry(seed)
         self.config = config or default_platform_config()
         self.platform = FfDLPlatform(self.env, self.rng, self.config)
@@ -240,20 +275,25 @@ class ChaosEngine:
         """Engine events merged with the injector's own audit log.
 
         At equal timestamps the injector record comes first (it is
-        written before the fault callback runs); within a source, append
-        order is preserved.  The merged log is the determinism witness:
-        two runs with the same seed must produce identical lines.
+        written before the fault callback runs); *within* one source and
+        timestamp, lines sort canonically by text.  Within-tick append
+        order is exactly what the kernel is free to permute when two
+        events tie (see :class:`~repro.sim.core.Environment`), so the
+        witness treats one instant's lines as an unordered set.  The
+        merged log is the determinism contract: two runs with the same
+        scenario seed must produce identical lines under *every*
+        tie-break seed.
         """
-        entries: List[Tuple[float, int, int, str]] = []
+        entries: List[Tuple[float, int, str, int]] = []
         for seq, fault in enumerate(self.injector.log):
-            entries.append((fault.time, 0, seq,
+            entries.append((fault.time, 0,
                             f"fault {fault.kind} target={fault.target} "
-                            f"duration={fault.duration_s:.3f}"))
+                            f"duration={fault.duration_s:.3f}", seq))
         for seq, (time, text) in enumerate(self._engine_log):
-            entries.append((time, 1, seq, text))
-        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+            entries.append((time, 1, text, seq))
+        entries.sort()
         return [f"t={time:10.3f} {text}"
-                for time, _src, _seq, text in entries]
+                for time, _src, text, _seq in entries]
 
     # -- fault binding ------------------------------------------------------
 
@@ -396,7 +436,10 @@ class ChaosEngine:
     def _watch_recovery(self, step: InjectionStep, healthy):
         started = self.env.now
         while self.env.now - started < self.RECOVERY_TIMEOUT_S:
-            yield self.env.timeout(self.POLL_S)
+            # OBSERVER priority: sample the tick's settled state, so a
+            # recovery landing exactly on a poll boundary is measured
+            # identically under every legal tie-breaking order.
+            yield self.env.timeout(self.POLL_S, priority=OBSERVER)
             if healthy():
                 duration = self.env.now - started
                 self.recoveries.append(RecoveryRecord(
@@ -526,7 +569,7 @@ class ChaosEngine:
         for _ in range(self.DRAIN_GRACE_STEPS):
             if writer.pending == 0 and not writer.degraded:
                 break
-            yield self.env.timeout(0.5)
+            yield self.env.timeout(0.5, priority=OBSERVER)
         for name, check in self._hypotheses():
             ok, detail = check()
             self.hypotheses.append(HypothesisResult(
@@ -583,6 +626,10 @@ class ChaosEngine:
         }
         if isinstance(platform.mongo, MongoReplicaSet):
             counters["mongo-failovers"] = len(platform.mongo.failover_log)
+        race_lines: List[str] = []
+        if self.race_detector is not None:
+            race_lines = self.race_detector.render()
+            counters["schedule-conflicts"] = len(race_lines)
         return ChaosReport(
             scenario=self.scenario.name,
             seed=self.seed,
@@ -590,10 +637,18 @@ class ChaosEngine:
             recoveries=list(self.recoveries),
             audit_lines=self.audit_lines(),
             counters=counters,
+            tiebreak_seed=self.tiebreak_seed,
+            job_states={job_id: job.status.current
+                        for job_id, job in sorted(platform.jobs.items())},
+            race_lines=race_lines,
         )
 
 
 def run_scenario(scenario: Scenario, seed: int = 0,
-                 config: Optional[PlatformConfig] = None) -> ChaosReport:
+                 config: Optional[PlatformConfig] = None,
+                 tiebreak_seed: int = 0,
+                 detect_races: bool = False) -> ChaosReport:
     """Build a fresh engine and run ``scenario`` once."""
-    return ChaosEngine(scenario, seed=seed, config=config).run()
+    return ChaosEngine(scenario, seed=seed, config=config,
+                       tiebreak_seed=tiebreak_seed,
+                       detect_races=detect_races).run()

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CompareFailedError, LeaseExpiredError, StoreError
 from repro.sim.core import Environment
+from repro.sim.race import note_read, note_write
 from repro.sim.resources import Store as EventQueue
 
 PUT = "PUT"
@@ -113,6 +114,7 @@ class EtcdStore:
 
     def __init__(self, env: Environment):
         self.env = env
+        self._race_label = env.register_shared_store("etcd", self)
         self.revision = 0
         self._data: Dict[str, KeyValue] = {}
         self._watchers: List[Watcher] = []
@@ -126,12 +128,17 @@ class EtcdStore:
     # -- reads -------------------------------------------------------------
 
     def get(self, key: str) -> Optional[KeyValue]:
+        note_read(self.env, self._race_label, key, "EtcdStore.get")
         return self._data.get(key)
 
     def range(self, prefix: str) -> List[KeyValue]:
         """All live keys with the given prefix, sorted by key."""
-        return [self._data[k] for k in sorted(self._data)
-                if k.startswith(prefix)]
+        found = [self._data[k] for k in sorted(self._data)
+                 if k.startswith(prefix)]
+        for kv in found:
+            note_read(self.env, self._race_label, kv.key,
+                      "EtcdStore.range")
+        return found
 
     def keys(self) -> List[str]:
         return sorted(self._data)
@@ -143,6 +150,7 @@ class EtcdStore:
 
     def put(self, key: str, value: Any,
             lease_id: Optional[int] = None) -> KeyValue:
+        note_write(self.env, self._race_label, key, "EtcdStore.put")
         if lease_id is not None:
             lease = self._leases.get(lease_id)
             if lease is None or lease.revoked:
@@ -165,6 +173,7 @@ class EtcdStore:
 
     def delete(self, key: str) -> int:
         """Delete one key; returns the number of keys removed (0 or 1)."""
+        note_write(self.env, self._race_label, key, "EtcdStore.delete")
         existing = self._data.pop(key, None)
         if existing is None:
             return 0
@@ -186,6 +195,8 @@ class EtcdStore:
     # -- transactions --------------------------------------------------------
 
     def check(self, compare: Compare) -> bool:
+        note_read(self.env, self._race_label, compare.key,
+                  "EtcdStore.check")
         kv = self._data.get(compare.key)
         if compare.field == "value":
             actual = kv.value if kv else None
@@ -276,6 +287,8 @@ class EtcdStore:
         lease = self._leases.get(lease_id)
         if lease is None or lease.revoked:
             return False
+        note_write(self.env, self._race_label, f"lease/{lease_id}",
+                   "EtcdStore.keepalive")
         lease.deadline = self.env.now + lease.ttl_s
         return True
 
@@ -284,6 +297,8 @@ class EtcdStore:
         lease = self._leases.pop(lease_id, None)
         if lease is None or lease.revoked:
             return False
+        note_write(self.env, self._race_label, f"lease/{lease_id}",
+                   "EtcdStore.revoke")
         lease.revoked = True
         for key in list(lease.keys):
             self.delete(key)

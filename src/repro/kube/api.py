@@ -27,6 +27,7 @@ from repro.kube.objects import (
     StatefulSet,
 )
 from repro.sim.core import Environment
+from repro.sim.race import note_read, note_write
 
 ADDED = "ADDED"
 MODIFIED = "MODIFIED"
@@ -43,6 +44,7 @@ class KubeAPI:
 
     def __init__(self, env: Environment):
         self.env = env
+        self._race_label = env.register_shared_store("kube", self)
         self.event_log = EventLog()
         self._stores: Dict[str, Dict[str, object]] = {
             kind: {} for kind in _KINDS}
@@ -56,6 +58,10 @@ class KubeAPI:
         self._listeners[kind].append(listener)
 
     def _notify(self, kind: str, verb: str, obj: object) -> None:
+        # Every mutation (create/update/delete) funnels through here.
+        note_write(self.env, self._race_label,
+                   f"{kind}/{getattr(obj, 'name', obj)}",
+                   f"KubeAPI.{verb.lower()}")
         for listener in list(self._listeners[kind]):
             listener(verb, obj)
 
@@ -68,6 +74,8 @@ class KubeAPI:
         return obj
 
     def _get(self, kind: str, name: str) -> object:
+        note_read(self.env, self._race_label, f"{kind}/{name}",
+                  "KubeAPI.get")
         obj = self._stores[kind].get(name)
         if obj is None:
             raise ObjectNotFoundError(f"{kind}/{name}")
@@ -99,6 +107,8 @@ class KubeAPI:
         return self._get("pods", name)
 
     def try_get_pod(self, name: str) -> Optional[Pod]:
+        note_read(self.env, self._race_label, f"pods/{name}",
+                  "KubeAPI.try_get_pod")
         return self._stores["pods"].get(name)
 
     def list_pods(self, owner: Optional[str] = None,
@@ -201,6 +211,8 @@ class KubeAPI:
         return self._get("pvcs", name)
 
     def try_get_pvc(self, name: str) -> Optional[PersistentVolumeClaim]:
+        note_read(self.env, self._race_label, f"pvcs/{name}",
+                  "KubeAPI.try_get_pvc")
         return self._stores["pvcs"].get(name)
 
     def delete_pvc(self, name: str) -> PersistentVolumeClaim:

@@ -19,18 +19,37 @@ from repro.mongo.query import (
     matches,
     sort_documents,
 )
+from repro.sim.race import note_read, note_write
 
 
 class Collection:
-    """A named collection of documents."""
+    """A named collection of documents.
 
-    def __init__(self, name: str):
+    ``env``/``race_label`` (threaded in by :class:`MongoDatabase` when
+    it is bound to a simulation) let document accesses feed the runtime
+    race detector; both default to None and cost nothing when unset.
+    """
+
+    def __init__(self, name: str, env=None,
+                 race_label: Optional[str] = None):
         self.name = name
+        self._env = env
+        self._race_label = race_label
         self._documents: Dict[Any, Dict[str, Any]] = {}
         self._id_counter = itertools.count(1)
         self._unique_indexes: List[str] = []
         #: Change log consumed by the replication layer: (op, payload).
         self.oplog: List[tuple] = []
+
+    def _note_write(self, doc_id: Any, site: str) -> None:
+        if self._race_label is not None:
+            note_write(self._env, self._race_label,
+                       f"{self.name}/{doc_id}", site)
+
+    def _note_read(self, doc_id: Any, site: str) -> None:
+        if self._race_label is not None:
+            note_read(self._env, self._race_label,
+                      f"{self.name}/{doc_id}", site)
 
     # -- index management -----------------------------------------------------
 
@@ -69,6 +88,7 @@ class Collection:
         if doc["_id"] in self._documents:
             raise DuplicateKeyError(f"_id {doc['_id']!r} already exists")
         self._check_all_unique(doc)
+        self._note_write(doc["_id"], "Collection.insert_one")
         self._documents[doc["_id"]] = doc
         self.oplog.append(("insert", copy.deepcopy(doc)))
         return doc["_id"]
@@ -82,6 +102,7 @@ class Collection:
         for doc in self._iter_matches(query):
             updated = apply_update(copy.deepcopy(doc), update)
             self._check_all_unique(updated, exclude_id=doc["_id"])
+            self._note_write(doc["_id"], "Collection.update_one")
             self._documents[doc["_id"]] = updated
             self.oplog.append(("update", copy.deepcopy(updated)))
             return 1
@@ -99,6 +120,7 @@ class Collection:
         for doc in list(self._iter_matches(query)):
             updated = apply_update(copy.deepcopy(doc), update)
             self._check_all_unique(updated, exclude_id=doc["_id"])
+            self._note_write(doc["_id"], "Collection.update_many")
             self._documents[doc["_id"]] = updated
             self.oplog.append(("update", copy.deepcopy(updated)))
             count += 1
@@ -110,6 +132,7 @@ class Collection:
             new_doc = copy.deepcopy(replacement)
             new_doc["_id"] = doc["_id"]
             self._check_all_unique(new_doc, exclude_id=doc["_id"])
+            self._note_write(doc["_id"], "Collection.replace_one")
             self._documents[doc["_id"]] = new_doc
             self.oplog.append(("update", copy.deepcopy(new_doc)))
             return 1
@@ -117,6 +140,7 @@ class Collection:
 
     def delete_one(self, query: Dict[str, Any]) -> int:
         for doc in self._iter_matches(query):
+            self._note_write(doc["_id"], "Collection.delete_one")
             del self._documents[doc["_id"]]
             self.oplog.append(("delete", doc["_id"]))
             return 1
@@ -125,6 +149,7 @@ class Collection:
     def delete_many(self, query: Dict[str, Any]) -> int:
         victims = [doc["_id"] for doc in self._iter_matches(query)]
         for doc_id in victims:
+            self._note_write(doc_id, "Collection.delete_many")
             del self._documents[doc_id]
             self.oplog.append(("delete", doc_id))
         return len(victims)
@@ -139,6 +164,8 @@ class Collection:
         results = sort_documents(results, sort)
         if limit is not None:
             results = results[:limit]
+        for doc in results:
+            self._note_read(doc["_id"], "Collection.find")
         return results
 
     def find_one(self,
@@ -149,6 +176,7 @@ class Collection:
 
     def get(self, doc_id: Any) -> Dict[str, Any]:
         """Fetch by _id; raises if absent."""
+        self._note_read(doc_id, "Collection.get")
         doc = self._documents.get(doc_id)
         if doc is None:
             raise KeyNotFoundError(f"no document {doc_id!r} in {self.name!r}")

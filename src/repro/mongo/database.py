@@ -10,7 +10,7 @@ etcd vs MongoDB as the status-coordination store.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import StoreError, StoreUnavailableError
 from repro.mongo.collection import Collection
@@ -18,15 +18,26 @@ from repro.sim.core import Environment
 
 
 class MongoDatabase:
-    """A named set of collections."""
+    """A named set of collections.
 
-    def __init__(self, name: str = "ffdl"):
+    Passing ``env`` registers the database as a shared store so that
+    document accesses feed the runtime race detector; without it the
+    database is a plain in-memory bag (replica-set secondaries and unit
+    tests use it that way).
+    """
+
+    def __init__(self, name: str = "ffdl",
+                 env: Optional[Environment] = None):
         self.name = name
+        self._env = env
+        self._race_label = (env.register_shared_store(f"mongo:{name}", self)
+                            if env is not None else None)
         self._collections: Dict[str, Collection] = {}
 
     def collection(self, name: str) -> Collection:
         if name not in self._collections:
-            self._collections[name] = Collection(name)
+            self._collections[name] = Collection(
+                name, env=self._env, race_label=self._race_label)
         return self._collections[name]
 
     def __getitem__(self, name: str) -> Collection:
@@ -60,7 +71,8 @@ class MongoReplicaSet:
         #: (primary_lost_at, new_primary_elected_at, new_primary_index)
         self.failover_log: List[tuple] = []
         self.members: List[MongoDatabase] = [
-            MongoDatabase(f"{name}-{i}") for i in range(secondaries + 1)]
+            MongoDatabase(f"{name}-{i}", env=env)
+            for i in range(secondaries + 1)]
         self._primary_index = 0
         self._down: set[int] = set()
         #: replication positions: member index -> collection -> applied count

@@ -10,6 +10,13 @@ from repro.sim.core import (
     Timeout,
 )
 from repro.sim.failure import FaultEvent, FaultInjector, FaultSpec
+from repro.sim.race import (
+    RaceDetector,
+    RaceError,
+    RaceReport,
+    note_read,
+    note_write,
+)
 from repro.sim.resources import FairShareLink, Resource, Store
 from repro.sim.rng import RngRegistry
 
@@ -24,8 +31,13 @@ __all__ = [
     "FaultSpec",
     "Interrupt",
     "Process",
+    "RaceDetector",
+    "RaceError",
+    "RaceReport",
     "Resource",
     "RngRegistry",
     "Store",
     "Timeout",
+    "note_read",
+    "note_write",
 ]

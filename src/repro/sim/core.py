@@ -20,9 +20,13 @@ from typing import Any, Callable, Generator, Iterable, Optional
 from repro.errors import SimulationError
 
 #: Sentinel priority classes: urgent events (process resumption) fire before
-#: normal events scheduled at the same timestamp.
+#: normal events scheduled at the same timestamp; observer events fire after
+#: every urgent/normal event of the same timestamp has settled, so pollers
+#: that sample state (rather than drive it) observe a tick's final state
+#: regardless of tie-breaking.
 URGENT = 0
 NORMAL = 1
+OBSERVER = 2
 
 
 class Interrupt(Exception):
@@ -37,7 +41,7 @@ class Event:
     """A one-shot occurrence that callbacks (usually processes) wait on."""
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
-                 "_scheduled", "_processed")
+                 "_scheduled", "_processed", "_clock")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -47,6 +51,9 @@ class Event:
         self._triggered = False
         self._scheduled = False
         self._processed = False
+        #: ``(epoch, VectorClock)`` snapshot stamped at trigger time when
+        #: a :class:`repro.sim.race.RaceDetector` is attached; else None.
+        self._clock = None
 
     @property
     def triggered(self) -> bool:
@@ -84,18 +91,23 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    ``priority`` defaults to :data:`NORMAL`; pass :data:`OBSERVER` for
+    polling loops that must observe a timestamp's settled state.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
         self._triggered = True
         self._value = value
-        env._schedule_event(self, NORMAL, delay)
+        env._schedule_event(self, priority, delay)
 
 
 class _Condition(Event):
@@ -154,7 +166,7 @@ class AllOf(_Condition):
 class Process(Event):
     """Drives a generator; the process *is* an event firing at termination."""
 
-    __slots__ = ("generator", "name", "_target", "_interrupts")
+    __slots__ = ("generator", "name", "pid", "_target", "_interrupts")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: str = "process"):
@@ -163,6 +175,7 @@ class Process(Event):
         super().__init__(env)
         self.generator = generator
         self.name = name
+        self.pid = next(env._pids)
         self._target: Optional[Event] = None
         self._interrupts: list[Interrupt] = []
         init = Event(env)
@@ -190,6 +203,9 @@ class Process(Event):
                 and not self._interrupts:
             # Stale wakeup (e.g. the event we abandoned on interrupt fires).
             return
+        if self.env.race_detector is not None:
+            # Receive edge: the waker's clock happened-before this run.
+            self.env.race_detector.on_receive(self, event)
         self.env._active_process = self
         try:
             while True:
@@ -232,13 +248,44 @@ class Process(Event):
 
 
 class Environment:
-    """The event queue and simulated clock."""
+    """The event queue and simulated clock.
 
-    def __init__(self, initial_time: float = 0.0):
+    **Ordering contract**: events fire in ascending ``(time, priority,
+    seq)`` order, where ``seq`` is a per-environment monotone counter
+    assigned at scheduling time.  Nothing beyond that triple orders the
+    queue — in particular, callers must never rely on object identity
+    or hash order.  The ``seq`` component exists to make same-``(time,
+    priority)`` ties *explicit and auditable*: with the default
+    ``tiebreak_seed=0`` ties break in scheduling order (FIFO), and any
+    other seed pushes ``seq`` through a seeded bijective mixer
+    (xor-salt, odd multiply, xorshift — each step invertible on the
+    61-bit ring) so that a perturbed run explores a different — but
+    equally legal — interleaving of every tie.  A simulation whose
+    observable results change under a perturbed seed depends on
+    tie-breaking, which is a modelling bug; ``repro.chaos`` uses
+    exactly this to assert schedule-independence (see ``--perturb``).
+    """
+
+    #: Permuted sequence numbers live in [0, 2**61).
+    _SEQ_MODULUS = 2 ** 61
+    _SEQ_MASK = _SEQ_MODULUS - 1
+
+    def __init__(self, initial_time: float = 0.0,
+                 tiebreak_seed: int = 0):
+        if tiebreak_seed < 0:
+            raise SimulationError("tiebreak_seed must be >= 0")
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        self.tiebreak_seed = tiebreak_seed
+        self._seq_salt = (tiebreak_seed * 0x9E3779B97F4A7C15) \
+            & self._SEQ_MASK
+        self._pids = itertools.count(1)
+        #: Attached repro.sim.race.RaceDetector, or None (the fast path).
+        self.race_detector = None
+        #: label -> substrate; see :meth:`register_shared_store`.
+        self.shared_stores: dict[str, object] = {}
 
     @property
     def now(self) -> float:
@@ -248,20 +295,59 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    def register_shared_store(self, name: str, store: object) -> str:
+        """Register a shared substrate under a unique label.
+
+        Substrates (etcd stores, the kube object store, mongo
+        databases) call this at construction; the returned label is
+        what they pass to :func:`repro.sim.race.note_read` /
+        ``note_write`` so the race detector can attribute accesses.
+        """
+        label = name
+        suffix = 2
+        while label in self.shared_stores:
+            label = f"{name}#{suffix}"
+            suffix += 1
+        self.shared_stores[label] = store
+        return label
+
     # -- scheduling ---------------------------------------------------------
+
+    def _permute_seq(self, seq: int) -> int:
+        """Seeded bijection on [0, 2**61); identity when the seed is 0.
+
+        Every step (xor with a constant, multiplication by an odd
+        number, xorshift-right) is invertible modulo 2**61, so distinct
+        raw sequence numbers always map to distinct permuted ones and
+        the heap order stays total.
+        """
+        if self.tiebreak_seed == 0:
+            return seq
+        mask = self._SEQ_MASK
+        seq = (seq ^ self._seq_salt) & mask
+        seq = (seq * 0x9E3779B97F4A7C15) & mask
+        seq ^= seq >> 31
+        seq = (seq * 0xBF58476D1CE4E5B9) & mask
+        seq ^= seq >> 29
+        return seq
 
     def _schedule_event(self, event: Event, priority: int, delay: float) -> None:
         if event._scheduled:
             raise SimulationError("event already scheduled")
         event._scheduled = True
+        seq = self._permute_seq(next(self._counter))
+        if self.race_detector is not None:
+            # Send edge: stamp the event with the sender's clock.
+            self.race_detector.on_send(event)
         heapq.heappush(self._queue,
-                       (self._now + delay, priority, next(self._counter), event))
+                       (self._now + delay, priority, seq, event))
 
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                priority: int = NORMAL) -> Timeout:
+        return Timeout(self, delay, value, priority=priority)
 
     def process(self, generator: Generator, name: str = "process") -> Process:
         return Process(self, generator, name=name)
@@ -284,6 +370,17 @@ class Environment:
         self._now = max(self._now, when)
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
+        detector = self.race_detector
+        if detector is not None:
+            # Callbacks run on behalf of this event; anything they
+            # trigger inherits its clock (fan-in/fan-out HB edges).
+            detector.on_step(event)
+            try:
+                for callback in callbacks:
+                    callback(event)
+            finally:
+                detector.on_step(None)
+            return
         for callback in callbacks:
             callback(event)
 

@@ -32,6 +32,7 @@ A suppression without a reason is itself reported (``SUP001``).
 from __future__ import annotations
 
 from repro.staticcheck.engine import (
+    ALL_RULES,
     AnalysisContext,
     analyze_paths,
     analyze_source,
@@ -40,7 +41,6 @@ from repro.staticcheck.engine import (
     iter_python_files,
 )
 from repro.staticcheck.findings import Finding, RULE_CATALOG
-from repro.staticcheck.rules import ALL_RULES
 from repro.staticcheck.runtime import (
     KubeStateMachineChecker,
     RaftInvariantChecker,

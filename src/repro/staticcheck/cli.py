@@ -5,18 +5,27 @@ Usage::
     python -m repro.staticcheck                  # report, always exit 0
     python -m repro.staticcheck --strict         # CI: exit 1 on findings
     python -m repro.staticcheck --format md      # Markdown findings table
+    python -m repro.staticcheck --format json    # machine-readable report
+    python -m repro.staticcheck --format github  # GitHub ::error lines
     python -m repro.staticcheck --list-rules     # print the rule catalog
+    python -m repro.staticcheck --explain SAF001 # rule rationale + fix
     python -m repro.staticcheck path/to/file.py  # analyze specific paths
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import textwrap
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.staticcheck.engine import analyze_paths, default_target
-from repro.staticcheck.findings import Finding, RULE_CATALOG
+from repro.staticcheck.findings import (
+    Finding,
+    RULE_CATALOG,
+    RULE_EXPLANATIONS,
+)
 
 
 def render_text(findings: List[Finding],
@@ -40,6 +49,43 @@ def render_markdown(findings: List[Finding],
             f"{len(suppressed)} suppressed")
 
 
+def render_json(findings: List[Finding],
+                suppressed: List[Finding]) -> str:
+    return json.dumps({
+        "findings": [{"code": f.code, "path": f.path, "line": f.line,
+                      "message": f.message} for f in findings],
+        "suppressed": [{"code": f.code, "path": f.path, "line": f.line}
+                       for f in suppressed],
+    }, indent=2, sort_keys=True)
+
+
+def render_github(findings: List[Finding],
+                  suppressed: List[Finding]) -> str:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines = [f"::error file={f.path},line={f.line},"
+             f"title=staticcheck {f.code}::{f.message}"
+             for f in findings]
+    lines.append(f"{len(findings)} finding(s), "
+                 f"{len(suppressed)} suppressed")
+    return "\n".join(lines)
+
+
+def render_explanation(code: str) -> str:
+    why, bad, good = RULE_EXPLANATIONS[code]
+    indent = "    "
+    return "\n".join([
+        f"{code}: {RULE_CATALOG[code]}",
+        "",
+        textwrap.fill(why, width=72),
+        "",
+        "violates:",
+        textwrap.indent(bad, indent),
+        "",
+        "compliant:",
+        textwrap.indent(good, indent),
+    ])
+
+
 def render_rules() -> str:
     width = max(len(code) for code in RULE_CATALOG)
     return "\n".join(f"{code:<{width}}  {description}"
@@ -57,11 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero if any unsuppressed finding "
                              "remains")
-    parser.add_argument("--format", choices=("text", "md"),
+    parser.add_argument("--format",
+                        choices=("text", "md", "json", "github"),
                         default="text", help="findings report format")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--explain", metavar="RULE_ID",
+                        help="print why a rule exists, a violating "
+                             "example and the compliant fix, then exit")
     return parser
+
+
+_RENDERERS = {
+    "text": render_text,
+    "md": render_markdown,
+    "json": render_json,
+    "github": render_github,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -70,15 +128,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(render_rules())
         return 0
+    if args.explain is not None:
+        code = args.explain.upper()
+        if code not in RULE_EXPLANATIONS:
+            parser.error(f"unknown rule {args.explain!r}; see "
+                         f"--list-rules")
+        print(render_explanation(code))
+        return 0
     targets = [Path(p) for p in args.paths] or [default_target()]
     for target in targets:
         if not target.exists():
             parser.error(f"no such file or directory: {target}")
     findings, suppressed = analyze_paths(targets)
-    if args.format == "md":
-        print(render_markdown(findings, suppressed))
-    else:
-        print(render_text(findings, suppressed))
+    print(_RENDERERS[args.format](findings, suppressed))
     if args.strict and findings:
         return 1
     return 0

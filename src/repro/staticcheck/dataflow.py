@@ -1,0 +1,60 @@
+"""A small intraprocedural dataflow framework over :mod:`cfg` graphs.
+
+Facts are frozensets and joins are unions, i.e. every analysis built on
+this solver is a forward *may* analysis: a fact holds at a node when it
+holds along **some** path reaching it.  That is exactly the shape the
+path-sensitive rules need ("on some path the resource is still
+unreleased", "some definition reaches this use across a yield"), and
+union joins over finite fact universes guarantee the worklist
+terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.staticcheck.cfg import CFG, CFGNode
+
+Fact = FrozenSet[tuple]
+
+
+class ForwardAnalysis:
+    """Subclass hook points for one analysis."""
+
+    def initial(self) -> Fact:
+        """Fact at the function entry."""
+        return frozenset()
+
+    def transfer(self, node: CFGNode, fact: Fact) -> Fact:
+        """Fact after executing ``node`` given ``fact`` before it."""
+        raise NotImplementedError
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis,
+                  ) -> Dict[int, Tuple[Fact, Fact]]:
+    """Fixpoint ``{node index: (fact_in, fact_out)}`` for ``analysis``."""
+    fact_in: Dict[int, Fact] = {n.index: frozenset() for n in cfg.nodes}
+    fact_out: Dict[int, Fact] = {n.index: frozenset() for n in cfg.nodes}
+    fact_in[cfg.entry] = analysis.initial()
+    fact_out[cfg.entry] = analysis.initial()
+
+    worklist = [n.index for n in cfg.nodes if n.index != cfg.entry]
+    queued = set(worklist)
+    while worklist:
+        index = worklist.pop(0)
+        queued.discard(index)
+        node = cfg.node(index)
+        incoming: Fact = frozenset()
+        for pred in node.preds:
+            incoming = incoming | fact_out[pred]
+        fact_in[index] = incoming
+        out = analysis.transfer(node, incoming) \
+            if node.stmt is not None else incoming
+        if out != fact_out[index]:
+            fact_out[index] = out
+            for succ in node.succs:
+                if succ not in queued and succ != cfg.entry:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return {index: (fact_in[index], fact_out[index])
+            for index in fact_in}

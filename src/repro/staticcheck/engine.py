@@ -19,10 +19,20 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.staticcheck.findings import Finding, RULE_CATALOG
-from repro.staticcheck.rules import ALL_RULES, build_import_map
+from repro.staticcheck.flowrules import FLOW_RULES
+from repro.staticcheck.rules import SYNTACTIC_RULES, build_import_map
+
+#: Every rule — syntactic walkers plus the CFG-based flow rules.
+ALL_RULES = SYNTACTIC_RULES + FLOW_RULES
 
 _SUPPRESS_RE = re.compile(
     r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
+
+#: Module pragma marking a file as an analyzer *fixture*: a corpus file
+#: whose findings are asserted by the test suite, not repo defects.
+#: Fixture files are skipped by directory scans (``analyze_paths``) but
+#: still analyzable directly via ``analyze_source``.
+_FIXTURE_RE = re.compile(r"#\s*staticcheck:\s*fixture\b")
 
 
 @dataclass
@@ -94,6 +104,14 @@ def analyze_source(source: str, display_path: str = "<string>",
     return findings, suppressed
 
 
+def _is_fixture(source: str) -> bool:
+    """True when the module's leading lines carry the fixture pragma."""
+    for line in source.splitlines()[:3]:
+        if _FIXTURE_RE.search(line):
+            return True
+    return False
+
+
 def iter_python_files(root: Path) -> List[Path]:
     """All ``.py`` files under ``root`` in a stable order."""
     if root.is_file():
@@ -116,8 +134,10 @@ def analyze_paths(paths: Iterable[Path], rules: Sequence = ALL_RULES,
     suppressed: List[Finding] = []
     for root in paths:
         for path in iter_python_files(Path(root)):
-            got, hidden = analyze_source(
-                path.read_text(encoding="utf-8"), _display(path), rules)
+            source = path.read_text(encoding="utf-8")
+            if _is_fixture(source):
+                continue
+            got, hidden = analyze_source(source, _display(path), rules)
             findings.extend(got)
             suppressed.extend(hidden)
     findings.sort(key=Finding.sort_key)

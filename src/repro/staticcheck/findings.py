@@ -19,15 +19,115 @@ RULE_CATALOG = {
                "random.Random()); use RngRegistry streams"),
     "DET003": ("iteration over an unordered set expression; wrap in "
                "sorted(...) before the order can reach the event queue"),
-    "SAF001": ("broad exception handler can swallow sim.core.Interrupt; "
-               "catch Interrupt first and re-raise it"),
+    "CONC001": ("local snapshot of a mutable shared attribute is used "
+                "after a yield point without re-validation; other "
+                "processes may have changed it (stale read)"),
+    "RES001": ("acquired resource (watch, lease, claim, ...) is not "
+               "released on every path out of the function; wrap the "
+               "use in try/finally"),
+    "SAF001": ("exception handler can swallow sim.core.Interrupt — "
+               "broad catch, or an Interrupt handler that does not "
+               "re-raise on every path"),
     "SAF002": ("simulation process generator yields a non-Event literal; "
                "processes may only yield Event subclasses"),
     "SAF003": ("unbounded retry loop: 'while True' around a backoff sleep "
                "with no attempt cap or deadline; bound it with "
                "for-range(max_attempts) or a Deadline check"),
+    "SAF004": ("Event/Timeout constructed but never yielded, stored, or "
+               "triggered; a waiter on it can never wake (lost wakeup)"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
+}
+
+#: code -> (why it matters, minimal violating example, compliant fix).
+#: Drives ``--explain RULE_ID`` and the DESIGN.md rule table.
+RULE_EXPLANATIONS = {
+    "DET001": (
+        "Simulated experiments must replay byte-identically from a seed; "
+        "any wall-clock read couples results to the host machine.",
+        "started = time.time()",
+        "started = env.now",
+    ),
+    "DET002": (
+        "The global random module shares hidden state across every "
+        "caller and import order; draws are not attributable to a seed "
+        "stream.",
+        "delay = random.uniform(0, 1)",
+        "delay = rng.stream('backoff:etcd').uniform(0, 1)",
+    ),
+    "DET003": (
+        "Set iteration order depends on PYTHONHASHSEED; if it reaches "
+        "the event queue, replays diverge between interpreter runs.",
+        "for node in {a, b, c}: schedule(node)",
+        "for node in sorted({a, b, c}): schedule(node)",
+    ),
+    "CONC001": (
+        "Yields are the only preemption points in the kernel: between "
+        "a yield and its resumption any other process may mutate shared "
+        "state, so a pre-yield snapshot can be stale.  Re-read the "
+        "attribute after resuming, or compare it against a fresh read.",
+        "leader = self.leader\n"
+        "yield env.timeout(1)\n"
+        "leader.send(msg)        # leader may have changed",
+        "yield env.timeout(1)\n"
+        "if self.leader is not None:\n"
+        "    self.leader.send(msg)",
+    ),
+    "RES001": (
+        "Watches, leases and claims registered with a substrate outlive "
+        "the function unless explicitly released; a path that returns "
+        "or raises early leaks them and the substrate fans out to dead "
+        "consumers forever.",
+        "w = store.watch_prefix(p)\n"
+        "if bad: return           # leaks the watcher\n"
+        "w.cancel()",
+        "w = store.watch_prefix(p)\n"
+        "try:\n"
+        "    ...\n"
+        "finally:\n"
+        "    w.cancel()",
+    ),
+    "SAF001": (
+        "Crash injection is delivered as sim.core.Interrupt; a handler "
+        "that absorbs it on any path converts an injected crash into "
+        "normal control flow and invalidates recovery measurements.",
+        "except Interrupt:\n"
+        "    if done: return      # swallows on this path\n"
+        "    raise",
+        "except Interrupt:\n"
+        "    cleanup()\n"
+        "    raise",
+    ),
+    "SAF002": (
+        "The kernel resumes processes only through Event subclasses; "
+        "yielding a literal crashes the run at a non-deterministic "
+        "point at runtime instead of failing at lint time.",
+        "yield 5",
+        "yield env.timeout(5)",
+    ),
+    "SAF003": (
+        "Under a permanent outage an uncapped retry loop spins forever "
+        "and hides the failure instead of surfacing it.",
+        "while True:\n"
+        "    try: op()\n"
+        "    except StoreError:\n"
+        "        yield env.timeout(1)",
+        "for attempt in range(policy.max_attempts):\n"
+        "    ...",
+    ),
+    "SAF004": (
+        "An event nobody can reach can never be triggered — a process "
+        "that would later wait on it sleeps forever (lost wakeup).",
+        "done = env.event()       # never yielded or stored",
+        "done = env.event()\n"
+        "self._done = done        # observable: someone can trigger it",
+    ),
+    "SUP001": (
+        "An unexplained suppression is silent drift: nobody can tell "
+        "whether the ignored finding is safe or forgotten.",
+        "risky()  # staticcheck: ignore[DET001]",
+        "risky()  # staticcheck: ignore[DET001] replay-safe: <why>",
+    ),
 }
 
 

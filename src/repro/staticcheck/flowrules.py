@@ -1,0 +1,402 @@
+"""Flow-sensitive rules built on the CFG + dataflow framework.
+
+These rules reason about *paths*, which the syntactic walkers in
+:mod:`repro.staticcheck.rules` cannot: a resource released in one branch
+but leaked in another, a shared attribute read before a yield and used
+after it, an event constructed on a path that never yields it.  Each
+rule builds per-function CFGs (:mod:`repro.staticcheck.cfg`) and, where
+it needs facts joined over paths, runs a forward may-analysis
+(:mod:`repro.staticcheck.dataflow`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.cfg import (
+    CFG,
+    CFGNode,
+    build_cfg,
+    own_expr_roots,
+    walk_own,
+)
+from repro.staticcheck.dataflow import ForwardAnalysis, solve_forward
+from repro.staticcheck.rules import Rule, canonicalize, dotted_name
+
+#: Method names whose return value is a resource the caller must release.
+ACQUIRE_METHODS = frozenset({
+    "watch", "watch_prefix", "grant_lease", "acquire", "claim",
+    "checkout",
+})
+
+#: Method names that release a held resource.
+RELEASE_METHODS = frozenset({
+    "cancel", "revoke", "release", "close", "unsubscribe", "stop",
+})
+
+#: Simulation event factories for SAF004 (receiver ends in ``env``).
+EVENT_FACTORY_ATTRS = frozenset({"event", "timeout"})
+#: Direct event-class constructions for SAF004 (canonical last segment).
+EVENT_CLASS_NAMES = frozenset({"Event", "Timeout"})
+
+
+def module_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def own_statements(func: ast.AST) -> Iterator[ast.stmt]:
+    """The function's own statements, nested function bodies excluded."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                stack.append(child)
+
+
+def _assigned_names(stmt: ast.AST) -> Set[str]:
+    """Local names this node (re)binds, from its own expressions."""
+    names: Set[str] = set()
+    for node in walk_own(own_expr_roots(stmt)):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    if isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.add(stmt.name)
+    return names
+
+
+def _name_loads(stmt: ast.AST) -> List[ast.Name]:
+    return [node for node in walk_own(own_expr_roots(stmt))
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)]
+
+
+def _attr_chains_loaded(stmt: ast.AST) -> Set[str]:
+    """All dotted attribute chains read in this node's own expressions."""
+    chains: Set[str] = set()
+    for node in walk_own(own_expr_roots(stmt)):
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is not None:
+                chains.add(dotted)
+    return chains
+
+
+class FlowRule(Rule):
+    """A rule that inspects each function through its CFG."""
+
+    def check(self, ctx) -> List:
+        findings = []
+        for func in module_functions(ctx.tree):
+            findings.extend(self.check_function(ctx, func))
+        return findings
+
+    def check_function(self, ctx, func) -> List:  # pragma: no cover
+        raise NotImplementedError
+
+
+# -- CONC001: stale read across a yield point ------------------------------
+
+
+class _StaleReadAnalysis(ForwardAnalysis):
+    """Facts: (var, def node index, attr chain, crossed a yield)."""
+
+    def transfer(self, node: CFGNode, fact):
+        stmt = node.stmt
+        if node.has_yield:
+            fact = frozenset((var, at, chain, True)
+                             for var, at, chain, _crossed in fact)
+        # A statement that loads the snapshot AND freshly re-reads its
+        # chain (`if leader is self.leader:`) revalidates the snapshot.
+        loads = {name.id for name in _name_loads(stmt)}
+        if loads:
+            fresh = _attr_chains_loaded(stmt)
+            if fresh:
+                fact = frozenset(f for f in fact
+                                 if not (f[0] in loads and f[2] in fresh))
+        assigned = _assigned_names(stmt)
+        if assigned:
+            fact = frozenset(f for f in fact if f[0] not in assigned)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            chain = dotted_name(stmt.value)
+            if chain is not None and "." in chain:
+                fact = fact | {(stmt.targets[0].id, node.index, chain,
+                                False)}
+        return fact
+
+
+class StaleYieldReadRule(FlowRule):
+    """CONC001: a local captured from shared state is used across a yield.
+
+    Between a ``yield`` and the resumption, any other process may run —
+    yields are the only preemption points in this kernel, so a local
+    snapshot of a *mutable* attribute (one the module itself assigns
+    somewhere) taken before the yield can be stale afterwards.  The rule
+    flags a post-yield use of such a snapshot unless the same statement
+    also re-reads the attribute chain (compare-against-fresh is exactly
+    the re-validation idiom the rule wants to see).
+    """
+
+    code = "CONC001"
+
+    @staticmethod
+    def _mutated_attrs(tree: ast.Module) -> Set[str]:
+        mutated: Set[str] = set()
+        for node in ast.walk(tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    mutated.add(target.attr)
+        return mutated
+
+    def check(self, ctx) -> List:
+        self._mutated = self._mutated_attrs(ctx.tree)
+        return super().check(ctx)
+
+    def check_function(self, ctx, func) -> List:
+        cfg = build_cfg(func)
+        if not cfg.yield_nodes():
+            return []
+        solution = solve_forward(cfg, _StaleReadAnalysis())
+        findings = []
+        seen: Set[Tuple[int, str]] = set()
+        for node in cfg.stmt_nodes():
+            fact_in, _out = solution[node.index]
+            stale = {var: chain for var, _at, chain, crossed in fact_in
+                     if crossed}
+            if not stale:
+                continue
+            fresh = _attr_chains_loaded(node.stmt)
+            for name in _name_loads(node.stmt):
+                chain = stale.get(name.id)
+                if chain is None or chain in fresh:
+                    continue
+                terminal = chain.rsplit(".", 1)[-1]
+                if terminal not in self._mutated:
+                    continue
+                key = (node.line, name.id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(self.finding(
+                    ctx, node.stmt,
+                    f"{name.id!r} holds a pre-yield snapshot of {chain}, "
+                    f"which other processes may have changed by now; "
+                    f"re-read {chain} after resuming (or compare against "
+                    f"a fresh read in this statement)"))
+        return findings
+
+
+# -- RES001: resource not released on every path ---------------------------
+
+
+def _var_release_and_escape(stmt: ast.AST, var: str) -> Tuple[bool, bool]:
+    """(released, escaped) for ``var`` in this node's own expressions.
+
+    A load of ``var`` as the receiver of a non-release method call
+    (``var.get()``) is plain *use* — neither.  A release-method call on
+    it releases.  Any other load (argument, alias, return/yield value,
+    container element, attribute read such as ``var.id`` passed along)
+    makes the resource escape the function's responsibility.
+    """
+    released = False
+    receiver_uses: Set[int] = set()
+    for node in walk_own(own_expr_roots(stmt)):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == var:
+            if node.func.attr in RELEASE_METHODS:
+                released = True
+            receiver_uses.add(id(node.func.value))
+    escaped = any(
+        isinstance(node, ast.Name) and node.id == var
+        and isinstance(node.ctx, ast.Load)
+        and id(node) not in receiver_uses
+        for node in walk_own(own_expr_roots(stmt)))
+    return released, escaped
+
+
+def _acquire_call(value: ast.AST) -> Optional[str]:
+    """Dotted text of an acquire call, unwrapping ``yield <call>``."""
+    if isinstance(value, (ast.Yield, ast.YieldFrom)):
+        value = value.value
+    if isinstance(value, ast.Call) and \
+            isinstance(value.func, ast.Attribute) and \
+            value.func.attr in ACQUIRE_METHODS:
+        dotted = dotted_name(value.func)
+        return dotted if dotted is not None else value.func.attr
+    return None
+
+
+class _ResourceAnalysis(ForwardAnalysis):
+    """Facts: (var, def node index, acquire-call text) still held."""
+
+    def transfer(self, node: CFGNode, fact):
+        stmt = node.stmt
+        live = set(fact)
+        for entry in fact:
+            var = entry[0]
+            released, escaped = _var_release_and_escape(stmt, var)
+            if released or escaped:
+                live.discard(entry)
+        assigned = _assigned_names(stmt)
+        if assigned:
+            live = {f for f in live if f[0] not in assigned}
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            acquired = _acquire_call(stmt.value)
+            if acquired is not None:
+                live.add((stmt.targets[0].id, node.index, acquired))
+        return frozenset(live)
+
+
+class ResourceLeakRule(FlowRule):
+    """RES001: an acquired resource must be released on every exit path.
+
+    Tracks locals bound from acquire-vocabulary calls (``watch``,
+    ``watch_prefix``, ``grant_lease``, ``acquire``, ``claim``, ...).
+    Passing the resource (or one of its attributes) to another call,
+    storing it, returning or yielding it hands ownership elsewhere and
+    ends tracking; a release-method call (``cancel``, ``revoke``,
+    ``release``, ``close``, ...) discharges it.  If any path out of the
+    function — including an early ``return`` or ``raise`` — still holds
+    the resource untouched, the acquisition site is flagged.  The
+    canonical fix is ``try/finally`` around the use.
+    """
+
+    code = "RES001"
+
+    def check_function(self, ctx, func) -> List:
+        cfg = build_cfg(func)
+        has_acquire = any(
+            _acquire_call(node.stmt.value) is not None
+            for node in cfg.stmt_nodes()
+            if isinstance(node.stmt, ast.Assign))
+        if not has_acquire:
+            return []
+        solution = solve_forward(cfg, _ResourceAnalysis())
+        leaked_at, _out = solution[cfg.exit]
+        findings = []
+        for var, def_index, call_text in sorted(
+                leaked_at, key=lambda f: (cfg.node(f[1]).line, f[0])):
+            findings.append(self.finding(
+                ctx, cfg.node(def_index).stmt,
+                f"{var!r} acquired via {call_text}() is not released on "
+                f"every path out of this function; release it in a "
+                f"try/finally (cancel/revoke/release/close)"))
+        return findings
+
+
+# -- SAF004: event constructed but never observable ------------------------
+
+
+class LostWakeupRule(FlowRule):
+    """SAF004: an Event/Timeout no one can ever see is a lost wakeup.
+
+    ``env.event()`` whose result is dropped (a bare expression
+    statement) or bound to a local that is never read again can never
+    be yielded, stored, or triggered — the classic lost-wakeup bug
+    where a waiter sleeps forever (or, for a Timeout, a delay fires
+    into the void).  Loads inside nested functions count as uses:
+    closures capturing the event are the normal wiring pattern.
+    Statements under ``with pytest.raises(...)`` are exempt — there the
+    constructor is invoked *for* its exception, not for the event.
+    """
+
+    code = "SAF004"
+
+    @staticmethod
+    def _raises_block_stmts(func: ast.AST) -> Set[int]:
+        """ids of statements inside a ``with ...raises(...)`` body."""
+        covered: Set[int] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    dotted = dotted_name(expr.func)
+                    if dotted is not None and \
+                            dotted.rsplit(".", 1)[-1] == "raises":
+                        covered.update(
+                            id(sub) for body_stmt in node.body
+                            for sub in ast.walk(body_stmt))
+                        break
+        return covered
+
+    def _is_event_ctor(self, ctx, node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in EVENT_FACTORY_ATTRS:
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and \
+                    receiver.rsplit(".", 1)[-1] == "env":
+                return f"env.{node.func.attr}()"
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            canonical = canonicalize(dotted, ctx.imports)
+            if canonical.rsplit(".", 1)[-1] in EVENT_CLASS_NAMES:
+                return f"{dotted}()"
+        return None
+
+    @staticmethod
+    def _loads_anywhere(func: ast.AST) -> Set[str]:
+        """Every Name load in the function, nested functions included."""
+        return {node.id for node in ast.walk(func)
+                if isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)}
+
+    def check_function(self, ctx, func) -> List:
+        findings = []
+        loads: Optional[Set[str]] = None
+        in_raises = self._raises_block_stmts(func)
+        for stmt in own_statements(func):
+            if id(stmt) in in_raises:
+                continue
+            if isinstance(stmt, ast.Expr):
+                ctor = self._is_event_ctor(ctx, stmt.value)
+                if ctor is not None:
+                    findings.append(self.finding(
+                        ctx, stmt,
+                        f"{ctor} is constructed and immediately "
+                        f"dropped; nothing can ever wait on or observe "
+                        f"it (lost wakeup)"))
+            elif isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                ctor = self._is_event_ctor(ctx, stmt.value)
+                if ctor is None:
+                    continue
+                if loads is None:
+                    loads = self._loads_anywhere(func)
+                if stmt.targets[0].id not in loads:
+                    findings.append(self.finding(
+                        ctx, stmt,
+                        f"{ctor} is bound to "
+                        f"{stmt.targets[0].id!r} but the name is never "
+                        f"read; the event can never be yielded or "
+                        f"triggered (lost wakeup)"))
+        return findings
+
+
+#: Flow-sensitive rules, in catalog order.
+FLOW_RULES = (
+    StaleYieldReadRule(),
+    ResourceLeakRule(),
+    LostWakeupRule(),
+)

@@ -210,9 +210,14 @@ class InterruptSwallowRule(Rule):
     A handler is *broad* if it is bare or catches Exception/BaseException.
     A broad handler is safe only when an earlier clause in the same
     ``try`` catches Interrupt and re-raises, or when the broad handler's
-    own body contains a ``raise``.  An explicit Interrupt handler that
-    does not re-raise is flagged too: it converts an injected crash into
-    normal control flow.
+    own body re-raises.  An explicit Interrupt handler that does not
+    re-raise is flagged too: it converts an injected crash into normal
+    control flow.
+
+    Re-raising is judged *path-sensitively* over the handler body's CFG:
+    a handler whose ``raise`` sits behind a condition, or that can bail
+    out through an early ``return``, swallows the Interrupt on the paths
+    that miss the ``raise`` and is flagged with a dedicated message.
     """
 
     code = "SAF001"
@@ -233,8 +238,36 @@ class InterruptSwallowRule(Rule):
 
     @staticmethod
     def _body_reraises(handler: ast.ExceptHandler) -> bool:
+        """Any raise at all, anywhere in the handler (syntactic)."""
         return any(isinstance(node, ast.Raise)
                    for node in ast.walk(handler))
+
+    @staticmethod
+    def _reraises_on_all_paths(handler: ast.ExceptHandler) -> bool:
+        """No path through the handler body completes without a raise.
+
+        An early ``return`` counts as completing (it swallows the
+        exception just as surely as falling off the end does).
+        """
+        from repro.staticcheck.cfg import build_block_cfg
+
+        cfg = build_block_cfg(handler.body)
+        raise_nodes = {n.index for n in cfg.nodes
+                       if isinstance(n.stmt, ast.Raise)}
+        return not cfg.path_exists(cfg.entry, cfg.exit,
+                                   blocked=raise_nodes)
+
+    def _swallow_finding(self, ctx, handler: ast.ExceptHandler,
+                         base_message: str) -> Optional[Finding]:
+        if self._reraises_on_all_paths(handler):
+            return None
+        if self._body_reraises(handler):
+            return self.finding(
+                ctx, handler,
+                "handler re-raises Interrupt on only some paths; the "
+                "non-raising path turns an injected crash into normal "
+                "control flow")
+        return self.finding(ctx, handler, base_message)
 
     def check(self, ctx) -> List[Finding]:
         findings = []
@@ -252,21 +285,23 @@ class InterruptSwallowRule(Rule):
                     or name.endswith((".Exception", ".BaseException"))
                     for name in names)
                 if catches_interrupt:
-                    if not self._body_reraises(handler):
-                        findings.append(self.finding(
-                            ctx, handler,
-                            "handler catches Interrupt but never "
-                            "re-raises; injected crashes disappear here"))
+                    finding = self._swallow_finding(
+                        ctx, handler,
+                        "handler catches Interrupt but never re-raises; "
+                        "injected crashes disappear here")
+                    if finding is not None:
+                        findings.append(finding)
                     interrupt_intercepted = True
                     continue
-                if broad and not interrupt_intercepted \
-                        and not self._body_reraises(handler):
+                if broad and not interrupt_intercepted:
                     caught = ", ".join(names)
-                    findings.append(self.finding(
+                    finding = self._swallow_finding(
                         ctx, handler,
                         f"broad handler ({caught}) can swallow "
                         f"sim.core.Interrupt; add 'except Interrupt: "
-                        f"raise' above it"))
+                        f"raise' above it")
+                    if finding is not None:
+                        findings.append(finding)
         return findings
 
 
@@ -419,8 +454,10 @@ class UnboundedRetryRule(Rule):
         return findings
 
 
-#: Every static rule, in catalog order.
-ALL_RULES = (
+#: The purely syntactic rules, in catalog order.  The flow-sensitive
+#: rules live in :mod:`repro.staticcheck.flowrules`; the combined
+#: ``ALL_RULES`` tuple is assembled by the engine.
+SYNTACTIC_RULES = (
     WallClockRule(),
     GlobalRandomRule(),
     UnorderedIterationRule(),

@@ -153,4 +153,4 @@ def test_cli_runs_scenario_with_determinism_check(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "determinism check passed" in out
-    assert "chaos scenario 'tiny' seed=0: PASS" in out
+    assert "chaos scenario 'tiny' seed=0 tiebreak=0: PASS" in out

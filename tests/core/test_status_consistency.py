@@ -52,7 +52,7 @@ def test_status_durations_sum_to_total_runtime():
     timeline = job.status.timeline()
     total = timeline[-1][1] - timeline[0][1]
     summed = sum(job.status.duration_in(status)
-                 for status in {s for s, _t in timeline})
+                 for status in sorted({s for s, _t in timeline}))
     assert summed == pytest.approx(total)
 
 

@@ -79,6 +79,7 @@ def test_watch_is_synchronous_and_streams():
         return ev.key
 
     assert env.run_until_complete(env.process(flow())) == "jobs/1"
+    watcher.cancel()
 
 
 def test_lease_grant_keepalive_revoke():

@@ -84,6 +84,7 @@ def test_watch_replays_every_effective_change(ops):
         else:
             effective += store.delete(key)
     assert watcher.pending() == effective
+    watcher.cancel()
 
 
 @settings(max_examples=40, deadline=None)

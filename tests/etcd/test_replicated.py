@@ -50,6 +50,7 @@ def test_watch_fires_exactly_once_per_commit(setup):
     env.run_until_complete(etcd.put("status", "B"), limit=env.now + 10)
     env.run(until=env.now + 1.0)
     assert watcher.pending() == 2
+    watcher.cancel()
 
 
 def test_restarted_replica_converges(setup):

@@ -31,6 +31,7 @@ def test_watch_single_key_receives_puts():
     env.process(producer())
     env.run()
     assert got == [(PUT, "DOWNLOADING"), (PUT, "PROCESSING")]
+    watcher.cancel()
 
 
 def test_watch_receives_delete_with_prev_value():
@@ -48,6 +49,7 @@ def test_watch_receives_delete_with_prev_value():
     ev = env.run_until_complete(env.process(consume()))
     assert ev.type == DELETE
     assert ev.prev_value == "v1"
+    watcher.cancel()
 
 
 def test_watch_prefix_sees_all_children():
@@ -58,6 +60,7 @@ def test_watch_prefix_sees_all_children():
     store.put("learners/1", "RUNNING")
     store.put("other", "x")
     assert watcher.pending() == 2
+    watcher.cancel()
 
 
 def test_cancelled_watcher_gets_nothing():
@@ -86,6 +89,7 @@ def test_watch_events_carry_monotonic_revisions():
     env.run_until_complete(env.process(consume()))
     assert revisions == sorted(revisions)
     assert len(set(revisions)) == 3
+    watcher.cancel()
 
 
 def test_lease_expiry_deletes_attached_keys():
@@ -136,6 +140,7 @@ def test_revoke_deletes_keys_and_fires_watch():
     assert store.get("a") is None
     assert watcher.pending() == 1
     assert not store.revoke(lease.lease_id)
+    watcher.cancel()
 
 
 def test_lease_ttl_must_be_positive():

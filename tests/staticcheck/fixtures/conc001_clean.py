@@ -1,0 +1,38 @@
+# staticcheck: fixture
+"""CONC001 negatives: re-validated, revalidating, or immutable reads."""
+
+
+class Registry:
+    def __init__(self, env):
+        self.env = env
+        self.leader = None
+
+    def elect(self, node):
+        self.leader = node
+
+    def reread_after_yield(self, message):
+        yield self.env.timeout(1.0)
+        if self.leader is not None:
+            self.leader.send(message)
+
+    def guard_against_fresh_read(self, message):
+        leader = self.leader
+        yield self.env.timeout(1.0)
+        if leader is self.leader:
+            leader.send(message)
+
+    def rebound_after_yield(self, message):
+        leader = self.leader
+        leader.send(message)
+        yield self.env.timeout(1.0)
+        leader = self.leader
+        leader.send(message)
+
+    def value_snapshot_is_fine(self):
+        # ``env.now`` is a value, not a reference to shared state: the
+        # snapshot is *meant* to be the pre-yield reading.  No ``.now``
+        # attribute is ever assigned in this module, so the mutation
+        # heuristic keeps this clean.
+        started = self.env.now
+        yield self.env.timeout(1.0)
+        return self.env.now - started

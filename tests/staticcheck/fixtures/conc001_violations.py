@@ -1,0 +1,29 @@
+# staticcheck: fixture
+"""CONC001 true positives: stale snapshots used across yield points."""
+
+
+class Registry:
+    def __init__(self, env):
+        self.env = env
+        self.leader = None
+        self.epoch = 0
+
+    def elect(self, node):
+        self.leader = node
+        self.epoch += 1
+
+    def notify(self, message):
+        leader = self.leader
+        yield self.env.timeout(1.0)
+        leader.send(message)  # <- CONC001
+
+    def stamp(self):
+        epoch = self.epoch
+        yield self.env.timeout(1.0)
+        return epoch + 1  # <- CONC001
+
+    def stale_on_one_branch(self, message, urgent):
+        leader = self.leader
+        if not urgent:
+            yield self.env.timeout(5.0)
+        leader.send(message)  # <- CONC001

@@ -1,0 +1,36 @@
+# staticcheck: fixture
+"""RES001 negatives: released on every path, or ownership moved on."""
+
+
+def try_finally_releases(store, flag):
+    watcher = store.watch_prefix("jobs/")
+    try:
+        if flag:
+            return 0
+        return 1
+    finally:
+        watcher.cancel()
+
+
+def released_on_both_branches(store, flag):
+    watcher = store.watch("k")
+    if flag:
+        watcher.cancel()
+        return 0
+    watcher.cancel()
+    return 1
+
+
+def ownership_handed_off(store, registry):
+    watcher = store.watch("k")
+    registry.adopt(watcher)
+
+
+def returned_to_caller(store):
+    watcher = store.watch("k")
+    return watcher
+
+
+def attribute_escapes(store, sink):
+    lease = store.grant_lease(30.0)
+    sink.keepalive(lease.lease_id)

@@ -1,0 +1,31 @@
+# staticcheck: fixture
+"""RES001 true positives: acquired resources leaked on some path."""
+
+
+def early_return_leaks(store, flag):
+    watcher = store.watch_prefix("jobs/")  # <- RES001
+    if flag:
+        return 0
+    watcher.cancel()
+    return 1
+
+
+def raise_path_leaks(store, ok):
+    lease = store.grant_lease(30.0)  # <- RES001
+    if not ok:
+        raise RuntimeError("bad input")
+    lease.revoke()
+
+
+def never_released(store):
+    watcher = store.watch("status")  # <- RES001
+    watcher.get()
+    return "done"
+
+
+def released_outside_finally(store, items):
+    watcher = store.watch_prefix("learners/")  # <- RES001
+    for item in items:
+        if item.bad:
+            raise ValueError(item)
+    watcher.cancel()

@@ -1,0 +1,24 @@
+# staticcheck: fixture
+"""SAF001 negatives: every path through the handler re-raises."""
+
+from repro.sim.core import Interrupt
+
+
+def cleanup_then_reraise(env, resources):
+    try:
+        yield env.timeout(10.0)
+    except Interrupt:
+        for resource in resources:
+            resource.close()
+        raise
+
+
+def reraise_on_every_branch(env, job):
+    try:
+        yield env.timeout(10.0)
+    except Interrupt:
+        if job.finished:
+            job.seal()
+            raise
+        job.abort()
+        raise

@@ -1,0 +1,29 @@
+# staticcheck: fixture
+"""SAF001 true positives: Interrupt re-raised on only some paths."""
+
+from repro.sim.core import Interrupt
+
+
+def conditional_swallow(env, job):
+    try:
+        yield env.timeout(10.0)
+    except Interrupt:  # <- SAF001
+        if job.finished:
+            return
+        raise
+
+
+def raise_only_in_one_branch(env, job, log):
+    try:
+        yield env.timeout(10.0)
+    except Interrupt:  # <- SAF001
+        if job.retryable:
+            raise
+        log.append("giving up")
+
+
+def swallowed_entirely(env, log):
+    try:
+        yield env.timeout(10.0)
+    except Interrupt:  # <- SAF001
+        log.append("crashed")

@@ -1,0 +1,31 @@
+# staticcheck: fixture
+"""SAF004 negatives: every constructed event is observable."""
+
+import pytest
+
+
+def yielded_inline(env):
+    yield env.timeout(1.0)
+
+
+def stored_on_object(env, obj):
+    obj.done = env.event()
+
+
+def captured_by_closure(env):
+    done = env.event()
+
+    def waiter():
+        yield done
+
+    return waiter
+
+
+def passed_along(env, waiters):
+    done = env.event()
+    waiters.append(done)
+
+
+def ctor_called_for_its_exception(env):
+    with pytest.raises(Exception):
+        env.timeout(-1.0)

@@ -1,0 +1,15 @@
+# staticcheck: fixture
+"""SAF004 true positives: events nothing can ever observe."""
+
+
+def dropped_event(env):
+    env.event()  # <- SAF004
+
+
+def dropped_timeout(env):
+    env.timeout(5.0)  # <- SAF004
+
+
+def bound_but_never_read(env):
+    done = env.event()  # <- SAF004
+    return "scheduled"

@@ -1,0 +1,71 @@
+"""Fixture-corpus tests for the flow-sensitive rules.
+
+Each ``*_violations.py`` fixture marks every expected finding with a
+``# <- CODE`` comment on the offending line; the tests assert that the
+analyzer reports exactly those (line, code) pairs — no misses, no false
+positives.  ``*_clean.py`` fixtures hold the nearest *correct* idioms
+and must produce no findings at all.  Fixture files carry the
+``# staticcheck: fixture`` pragma, so directory scans (and therefore
+``--strict`` CI runs over ``tests/``) skip them.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import analyze_paths, analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+VIOLATION_FIXTURES = {
+    "conc001_violations.py": "CONC001",
+    "res001_violations.py": "RES001",
+    "saf004_violations.py": "SAF004",
+    "saf001_path_violations.py": "SAF001",
+}
+
+CLEAN_FIXTURES = [
+    "conc001_clean.py",
+    "res001_clean.py",
+    "saf004_clean.py",
+    "saf001_path_clean.py",
+]
+
+
+def analyze_fixture(name):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    findings, _suppressed = analyze_source(source, name)
+    return source, findings
+
+
+def marked_lines(source, code):
+    return sorted(i for i, line in enumerate(source.splitlines(), 1)
+                  if f"<- {code}" in line)
+
+
+@pytest.mark.parametrize("name,code", sorted(VIOLATION_FIXTURES.items()))
+def test_violation_fixture_matches_markers(name, code):
+    source, findings = analyze_fixture(name)
+    expected = marked_lines(source, code)
+    assert expected, f"{name} has no markers"
+    assert all(f.code == code for f in findings), findings
+    assert sorted(f.line for f in findings) == expected
+
+
+@pytest.mark.parametrize("name", CLEAN_FIXTURES)
+def test_clean_fixture_has_no_findings(name):
+    _source, findings = analyze_fixture(name)
+    assert findings == []
+
+
+def test_every_fixture_file_carries_the_pragma():
+    for path in sorted(FIXTURES.glob("*.py")):
+        head = path.read_text(encoding="utf-8").splitlines()[:3]
+        assert any("staticcheck: fixture" in line for line in head), \
+            f"{path.name} is missing the fixture pragma"
+
+
+def test_directory_scan_skips_fixture_files():
+    findings, suppressed = analyze_paths([FIXTURES])
+    assert findings == []
+    assert suppressed == []

@@ -5,12 +5,14 @@ exits 0 on a clean tree and non-zero on an injected violation of every
 rule.
 """
 
+import json
 import textwrap
 
 import pytest
 
 from repro.staticcheck import ALL_RULES, RULE_CATALOG, analyze_tree
 from repro.staticcheck.cli import main
+from repro.staticcheck.findings import RULE_EXPLANATIONS
 
 #: One minimal violating module per static rule.
 VIOLATIONS = {
@@ -50,6 +52,28 @@ VIOLATIONS = {
                     return client.get()
                 except OSError:
                     yield env.timeout(1.0)
+    """,
+    "CONC001": """
+        class Watcher:
+            def elect(self, node):
+                self.leader = node
+
+            def run(self, env, message):
+                leader = self.leader
+                yield env.timeout(1.0)
+                leader.send(message)
+    """,
+    "RES001": """
+        def f(store, flag):
+            watcher = store.watch("k")
+            if flag:
+                return 0
+            watcher.cancel()
+            return 1
+    """,
+    "SAF004": """
+        def f(env):
+            env.event()
     """,
 }
 
@@ -94,6 +118,58 @@ def test_cli_markdown_report(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "## staticcheck findings" in out
     assert "DET002" in out
+
+
+def test_cli_json_report(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["RES001"]))
+    assert main(["--format", "json", str(bad)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in report["findings"]] == ["RES001"]
+    finding = report["findings"][0]
+    assert finding["line"] == 3
+    assert finding["path"].endswith("injected.py")
+    assert report["suppressed"] == []
+
+
+def test_cli_github_annotations(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["SAF004"]))
+    assert main(["--strict", "--format", "github", str(bad)]) == 1
+    out = capsys.readouterr().out
+    line = next(li for li in out.splitlines() if li.startswith("::error"))
+    assert line.startswith("::error file=")
+    assert "line=3," in line
+    assert "title=staticcheck SAF004::" in line
+
+
+def test_cli_github_green_run_emits_no_annotations(capsys):
+    assert main(["--strict", "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
+
+
+@pytest.mark.parametrize("code", sorted(RULE_EXPLANATIONS))
+def test_cli_explain_every_rule(capsys, code):
+    assert main(["--explain", code]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith(f"{code}: ")
+    assert "violates:" in out
+    assert "compliant:" in out
+
+
+def test_cli_explain_is_case_insensitive(capsys):
+    assert main(["--explain", "saf001"]) == 0
+    assert "SAF001" in capsys.readouterr().out
+
+
+def test_cli_explain_unknown_rule_errors():
+    with pytest.raises(SystemExit):
+        main(["--explain", "NOPE999"])
+
+
+def test_every_catalog_rule_has_an_explanation():
+    assert set(RULE_EXPLANATIONS) == set(RULE_CATALOG)
 
 
 def test_cli_list_rules_prints_catalog(capsys):
