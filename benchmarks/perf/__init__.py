@@ -1,0 +1,8 @@
+"""Deterministic performance benchmarks for the simulation substrate.
+
+``python -m benchmarks.perf.harness`` runs each scenario twice — fast
+paths on, then ``REPRO_PERF_DISABLE=1`` — asserts the two runs are
+observably identical, and writes one ``BENCH_<name>.json`` per scenario
+(deterministic ops counters + wall clock).  See README.md
+("Performance") for how to read and refresh the committed files.
+"""

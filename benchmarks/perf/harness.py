@@ -1,0 +1,191 @@
+"""Run perf scenarios, verify fast-path equivalence, emit BENCH files.
+
+Usage::
+
+    # Refresh the committed BENCH files (runs smoke AND full sizes):
+    PYTHONPATH=src python -m benchmarks.perf.harness
+
+    # CI: run smoke sizes only and compare against the committed files,
+    # failing on schema drift or an ops regression over 20%:
+    PYTHONPATH=src python -m benchmarks.perf.harness --scale smoke --check
+
+Each scenario runs twice per scale — fast paths on, then with
+``REPRO_PERF_DISABLE=1`` — and the harness asserts the two runs'
+``state`` digests are identical before it reports anything: the
+optimizations are only allowed to change the ops counters.  Ops are
+schedule-deterministic, so the committed numbers are exact; wall-clock
+seconds are informational and machine-dependent (this module is the one
+place wall time is measured — simulation code under ``src`` never
+touches it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.perf.scenarios import SCENARIOS
+from repro.perf import DISABLE_ENV_VAR
+
+BENCH_DIR = Path(__file__).parent
+
+#: Allowed relative increase of any optimized ops counter before the
+#: --check mode fails the build.
+REGRESSION_TOLERANCE = 0.20
+
+_REQUIRED_KEYS = ("scenario", "scales")
+_REQUIRED_SCALE_KEYS = ("params", "ops", "equivalent", "reduction",
+                        "wall_clock_s")
+
+
+def _run_mode(func, kwargs, disabled: bool):
+    previous = os.environ.get(DISABLE_ENV_VAR)
+    if disabled:
+        os.environ[DISABLE_ENV_VAR] = "1"
+    else:
+        os.environ.pop(DISABLE_ENV_VAR, None)
+    try:
+        started = time.perf_counter()
+        result = func(**kwargs)
+        wall = time.perf_counter() - started
+    finally:
+        if previous is None:
+            os.environ.pop(DISABLE_ENV_VAR, None)
+        else:
+            os.environ[DISABLE_ENV_VAR] = previous
+    return result, wall
+
+
+def run_scenario(name: str, scale: str) -> dict:
+    """One scenario at one scale, optimized and baseline back to back."""
+    func, smoke_kwargs, full_kwargs = SCENARIOS[name]
+    kwargs = smoke_kwargs if scale == "smoke" else full_kwargs
+    optimized, wall_opt = _run_mode(func, kwargs, disabled=False)
+    baseline, wall_base = _run_mode(func, kwargs, disabled=True)
+    if optimized["state"] != baseline["state"]:
+        raise AssertionError(
+            f"{name}/{scale}: fast paths changed observable state:\n"
+            f"  optimized: {optimized['state']}\n"
+            f"  baseline:  {baseline['state']}")
+    metric = optimized["ops"]["metric"]
+    opt_ops = optimized["ops"][metric]
+    base_ops = baseline["ops"][metric]
+    return {
+        "params": optimized["params"],
+        "ops": {
+            "metric": metric,
+            "optimized": optimized["ops"],
+            "baseline": baseline["ops"],
+        },
+        "equivalent": True,
+        "reduction": round(base_ops / opt_ops, 2) if opt_ops else None,
+        "wall_clock_s": {
+            "optimized": round(wall_opt, 3),
+            "baseline": round(wall_base, 3),
+        },
+    }
+
+
+def bench_path(name: str) -> Path:
+    return BENCH_DIR / f"BENCH_{name}.json"
+
+
+def check_schema(payload: dict, name: str) -> list:
+    errors = []
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            errors.append(f"BENCH_{name}.json: missing key {key!r}")
+    for scale, entry in payload.get("scales", {}).items():
+        for key in _REQUIRED_SCALE_KEYS:
+            if key not in entry:
+                errors.append(
+                    f"BENCH_{name}.json[{scale}]: missing key {key!r}")
+    return errors
+
+
+def check_regression(committed: dict, fresh: dict, name: str,
+                     scale: str) -> list:
+    """Compare a fresh run's deterministic ops to the committed file."""
+    errors = []
+    entry = committed.get("scales", {}).get(scale)
+    if entry is None:
+        return [f"BENCH_{name}.json has no {scale!r} scale entry"]
+    committed_ops = entry["ops"]["optimized"]
+    fresh_ops = fresh["ops"]["optimized"]
+    for counter, committed_value in committed_ops.items():
+        if not isinstance(committed_value, (int, float)) \
+                or counter == "metric" or not committed_value:
+            continue
+        fresh_value = fresh_ops.get(counter, 0)
+        if fresh_value > committed_value * (1 + REGRESSION_TOLERANCE):
+            errors.append(
+                f"{name}/{scale}: {counter} regressed "
+                f"{committed_value} -> {fresh_value} "
+                f"(>{REGRESSION_TOLERANCE:.0%} over baseline)")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="deterministic perf benchmarks")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        action="append",
+                        help="run only these scenarios (default: all)")
+    parser.add_argument("--scale", choices=("smoke", "full", "both"),
+                        default="both")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed BENCH files "
+                             "instead of rewriting them")
+    args = parser.parse_args(argv)
+
+    names = args.scenario or sorted(SCENARIOS)
+    scales = ("smoke", "full") if args.scale == "both" else (args.scale,)
+    failures = []
+    for name in names:
+        results = {}
+        for scale in scales:
+            print(f"[{name}/{scale}] running ...", flush=True)
+            results[scale] = run_scenario(name, scale)
+            ops = results[scale]
+            print(f"[{name}/{scale}] {ops['ops']['metric']}: "
+                  f"optimized={ops['ops']['optimized'][ops['ops']['metric']]} "
+                  f"baseline={ops['ops']['baseline'][ops['ops']['metric']]} "
+                  f"reduction={ops['reduction']}x "
+                  f"wall={ops['wall_clock_s']}", flush=True)
+        if args.check:
+            path = bench_path(name)
+            if not path.exists():
+                failures.append(f"missing committed file {path}")
+                continue
+            committed = json.loads(path.read_text())
+            failures.extend(check_schema(committed, name))
+            for scale in scales:
+                failures.extend(check_regression(
+                    committed, results[scale], name, scale))
+        else:
+            path = bench_path(name)
+            payload = {"scenario": name, "scales": results}
+            if path.exists():
+                existing = json.loads(path.read_text())
+                existing_scales = existing.get("scales", {})
+                # Preserve entries for scales not re-run this time.
+                for scale, entry in existing_scales.items():
+                    payload["scales"].setdefault(scale, entry)
+            path.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+            print(f"[{name}] wrote {path}", flush=True)
+
+    if failures:
+        print("PERF CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

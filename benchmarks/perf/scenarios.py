@@ -1,0 +1,197 @@
+"""The three perf scenarios: kernel churn, scheduling sweep, etcd fanout.
+
+Each function builds a fresh simulation, runs it to completion, and
+returns a dict with three sections:
+
+``ops``
+    The deterministic work counters the optimization targets (watcher
+    visits, predicate evaluations, events processed).  These shrink
+    when the fast paths are on and are what the CI regression check
+    compares.
+``state``
+    A digest of observable end state.  Must be byte-identical with the
+    fast paths on and off — the harness asserts it — so ``ops`` is the
+    *only* thing an optimization is allowed to change.
+``params``
+    The scenario sizes, echoed for the BENCH file.
+
+Everything here is schedule-deterministic: no wall clock (the harness
+times the call from outside), no unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.docker import Image
+from repro.etcd.kv import EtcdStore
+from repro.kube import (
+    Cluster,
+    ContainerSpec,
+    NodeCapacity,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+    ResourceRequest,
+)
+from repro.perf import profile
+from repro.sim import Environment, RngRegistry
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
+
+
+# -- kernel churn -----------------------------------------------------------
+
+
+def kernel_churn(processes: int = 50, steps: int = 200,
+                 seed: int = 0) -> dict:
+    """Timeout/condition churn: ~``processes * steps`` events through
+    the heap, with condition fan-in exercising callback lists."""
+    env = Environment()
+    profiler = profile(env)
+    rng = RngRegistry(seed).stream("kernel-churn")
+
+    def worker(index):
+        for step in range(steps):
+            if step % 10 == 9:
+                # Condition fan-in: two timeouts joined by all_of.
+                yield env.all_of([env.timeout(rng.uniform(0.1, 1.0)),
+                                  env.timeout(rng.uniform(0.1, 1.0))])
+            else:
+                yield env.timeout(rng.uniform(0.1, 1.0))
+
+    for index in range(processes):
+        env.process(worker(index), name=f"churn:{index}")
+    env.run()
+    report = profiler.report()
+    return {
+        "params": {"processes": processes, "steps": steps, "seed": seed},
+        "ops": {
+            "metric": "events_processed",
+            "events_processed": report["events_processed"],
+            "events_scheduled": report["events_scheduled"],
+            "peak_heap": report["peak_heap"],
+        },
+        "state": {
+            "now": env.now,
+            "profile_digest": _digest(report),
+        },
+    }
+
+
+# -- scheduling sweep -------------------------------------------------------
+
+
+def sched_sweep(nodes: int = 1000, pods: int = 5000,
+                seed: int = 0) -> dict:
+    """Pods arriving over simulated time on a large cluster; counts how
+    many full predicate evaluations the scheduler performs."""
+    env = Environment()
+    cluster = Cluster(env, RngRegistry(seed))
+    image = Image("bench", framework="none", size_bytes=1e6)
+    cluster.push_image(image)
+    cluster.add_nodes(nodes, NodeCapacity(cpus=32, memory_gb=256, gpus=4,
+                                          gpu_type="K80"))
+    rng = RngRegistry(seed).stream("sched-sweep")
+
+    def sleep_workload(duration):
+        def workload(container):
+            yield env.timeout(duration)
+            return 0
+        return workload
+
+    def submit():
+        for index in range(pods):
+            yield env.timeout(rng.uniform(0.02, 0.18))
+            pod = Pod(
+                meta=ObjectMeta(name=f"bench-{index}"),
+                spec=PodSpec(
+                    containers=[ContainerSpec(
+                        "c", "bench",
+                        workload=sleep_workload(rng.uniform(20, 60)))],
+                    resources=ResourceRequest(
+                        cpus=1, memory_gb=2,
+                        gpus=rng.choice((1, 1, 1, 2, 4)))))
+            cluster.api.create_pod(pod)
+
+    env.process(submit(), name="submitter")
+    env.run()
+    scheduler = cluster.scheduler
+    return {
+        "params": {"nodes": nodes, "pods": pods, "seed": seed},
+        "ops": {
+            "metric": "filter_evals",
+            "filter_evals": scheduler.filter_evals,
+            "filter_cache_hits": scheduler.filter_cache_hits,
+        },
+        "state": {
+            "now": env.now,
+            "events_processed": env.events_processed,
+            "pods_scheduled": scheduler.pods_scheduled,
+            "phase_counts": cluster.api.pod_phase_counts(),
+            "allocated_gpus": cluster.allocated_gpus(),
+        },
+    }
+
+
+# -- etcd fanout ------------------------------------------------------------
+
+
+def etcd_fanout(watchers: int = 500, writes: int = 2000,
+                seed: int = 0) -> dict:
+    """Many concurrent watches, writes spread over the keyspace; counts
+    how many watchers each notification touches."""
+    env = Environment()
+    store = EtcdStore(env)
+    rng = RngRegistry(seed).stream("etcd-fanout")
+    exact_count = watchers * 4 // 5
+    prefix_count = watchers - exact_count
+    exact = [store.watch(f"/jobs/job-{i}/status")
+             for i in range(exact_count)]
+    prefixes = [store.watch_prefix(f"/jobs/job-{i}/")
+                for i in range(prefix_count)]
+
+    def writer():
+        for index in range(writes):
+            yield env.timeout(0.01)
+            job = rng.randrange(exact_count)
+            if index % 5 == 4:
+                store.put(f"/jobs/job-{job}/progress", index)
+            else:
+                store.put(f"/jobs/job-{job}/status", f"step-{index}")
+
+    env.process(writer(), name="writer")
+    env.run()
+    pending = [w.pending() for w in exact] + \
+              [w.pending() for w in prefixes]
+    return {
+        "params": {"watchers": watchers, "writes": writes, "seed": seed},
+        "ops": {
+            "metric": "watcher_visits",
+            "watcher_visits": store.watcher_visits,
+            "notify_calls": store.notify_calls,
+        },
+        "state": {
+            "revision": store.revision,
+            "deliveries": sum(pending),
+            "pending_digest": _digest(pending),
+        },
+    }
+
+
+#: name -> (function, smoke kwargs, full kwargs)
+SCENARIOS = {
+    "kernel": (kernel_churn,
+               {"processes": 10, "steps": 100},
+               {"processes": 50, "steps": 200}),
+    "sched": (sched_sweep,
+              {"nodes": 100, "pods": 400},
+              {"nodes": 1000, "pods": 5000}),
+    "etcd": (etcd_fanout,
+             {"watchers": 100, "writes": 400},
+             {"watchers": 500, "writes": 2000}),
+}

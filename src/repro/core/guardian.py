@@ -176,8 +176,10 @@ def _aggregate(platform: "FfDLPlatform", job: TrainingJob) -> Optional[str]:
 
 def _monitor(platform: "FfDLPlatform", job: TrainingJob, container):
     env = platform.env
-    watcher = platform.etcd_store().watch_prefix(job_prefix(job.job_id))
-    try:
+    # The with-block closes the watcher on any exit (terminal status,
+    # interrupt, crash), deregistering it from the store's fanout index.
+    with platform.etcd_store().watch_prefix(job_prefix(job.job_id)) \
+            as watcher:
         while True:
             status = _aggregate(platform, job)
             if status in (st.COMPLETED, st.FAILED, st.HALTED):
@@ -193,10 +195,6 @@ def _monitor(platform: "FfDLPlatform", job: TrainingJob, container):
             if status is not None:
                 platform.record_status(job, status)
             yield watcher.get()
-    except Interrupt:
-        raise
-    finally:
-        watcher.cancel()
 
 
 def _garbage_collect(platform: "FfDLPlatform", job: TrainingJob,

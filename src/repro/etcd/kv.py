@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CompareFailedError, LeaseExpiredError, StoreError
+from repro.perf.flags import optimizations_enabled
 from repro.sim.core import Environment
 from repro.sim.race import note_read, note_write
 from repro.sim.resources import Store as EventQueue
@@ -84,7 +85,15 @@ class Watcher:
     """A streaming watch on a key or prefix.
 
     Events arrive in commit order on :attr:`queue`; consume them with
-    ``event = yield watcher.get()``.
+    ``event = yield watcher.get()``.  Watchers are usable as context
+    managers, which is the recommended idiom for scoped watches::
+
+        with store.watch_prefix("/jobs/") as watcher:
+            event = yield watcher.get()
+
+    :meth:`close` (or leaving the ``with`` block) deregisters the
+    watcher from the store's fanout index, so abandoned watchers cost
+    nothing — they are not merely skipped on every subsequent write.
     """
 
     def __init__(self, env: Environment, key: str, is_prefix: bool):
@@ -92,6 +101,11 @@ class Watcher:
         self.is_prefix = is_prefix
         self.queue = EventQueue(env)
         self.cancelled = False
+        #: Registration order within the owning store; fanout delivers
+        #: to matching watchers in this order regardless of how the
+        #: index found them.
+        self._seq = 0
+        self._store: Optional["EtcdStore"] = None
 
     def matches(self, key: str) -> bool:
         if self.is_prefix:
@@ -105,8 +119,32 @@ class Watcher:
     def pending(self) -> int:
         return len(self.queue)
 
-    def cancel(self) -> None:
+    def close(self) -> None:
+        """Stop the stream and deregister from the store index."""
         self.cancelled = True
+        store, self._store = self._store, None
+        if store is not None:
+            store._remove_watcher(self)
+
+    def cancel(self) -> None:
+        """Historical name; identical to :meth:`close`."""
+        self.close()
+
+    def __enter__(self) -> "Watcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _PrefixTrieNode:
+    """One character of the prefix-watch trie."""
+
+    __slots__ = ("children", "watchers")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_PrefixTrieNode"] = {}
+        self.watchers: List[Watcher] = []
 
 
 class EtcdStore:
@@ -117,7 +155,23 @@ class EtcdStore:
         self._race_label = env.register_shared_store("etcd", self)
         self.revision = 0
         self._data: Dict[str, KeyValue] = {}
+        #: All live watchers in registration order (the linear fallback
+        #: scans this; the index preserves its order for fanout).
         self._watchers: List[Watcher] = []
+        #: Fanout index: exact-key watchers by key, prefix watchers in a
+        #: character trie.  ``None`` under REPRO_PERF_DISABLE.
+        self._exact_watch: Optional[Dict[str, List[Watcher]]] = None
+        self._prefix_trie: Optional[_PrefixTrieNode] = None
+        if optimizations_enabled():
+            self._exact_watch = {}
+            self._prefix_trie = _PrefixTrieNode()
+        self._watch_seq = 0
+        #: Watchers *touched* by :meth:`_notify` fanout so far — the
+        #: quantity BENCH_etcd.json tracks.  The linear scan touches
+        #: every live watcher per write; the index touches only the
+        #: matching ones.
+        self.watcher_visits = 0
+        self.notify_calls = 0
         self._leases: Dict[int, Lease] = {}
         self._next_lease_id = 1
         #: Optional hook invoked when a lease expires, before its keys are
@@ -128,16 +182,18 @@ class EtcdStore:
     # -- reads -------------------------------------------------------------
 
     def get(self, key: str) -> Optional[KeyValue]:
-        note_read(self.env, self._race_label, key, "EtcdStore.get")
+        if self.env.race_detector is not None:
+            note_read(self.env, self._race_label, key, "EtcdStore.get")
         return self._data.get(key)
 
     def range(self, prefix: str) -> List[KeyValue]:
         """All live keys with the given prefix, sorted by key."""
         found = [self._data[k] for k in sorted(self._data)
                  if k.startswith(prefix)]
-        for kv in found:
-            note_read(self.env, self._race_label, kv.key,
-                      "EtcdStore.range")
+        if self.env.race_detector is not None:
+            for kv in found:
+                note_read(self.env, self._race_label, kv.key,
+                          "EtcdStore.range")
         return found
 
     def keys(self) -> List[str]:
@@ -150,7 +206,8 @@ class EtcdStore:
 
     def put(self, key: str, value: Any,
             lease_id: Optional[int] = None) -> KeyValue:
-        note_write(self.env, self._race_label, key, "EtcdStore.put")
+        if self.env.race_detector is not None:
+            note_write(self.env, self._race_label, key, "EtcdStore.put")
         if lease_id is not None:
             lease = self._leases.get(lease_id)
             if lease is None or lease.revoked:
@@ -173,7 +230,9 @@ class EtcdStore:
 
     def delete(self, key: str) -> int:
         """Delete one key; returns the number of keys removed (0 or 1)."""
-        note_write(self.env, self._race_label, key, "EtcdStore.delete")
+        if self.env.race_detector is not None:
+            note_write(self.env, self._race_label, key,
+                       "EtcdStore.delete")
         existing = self._data.pop(key, None)
         if existing is None:
             return 0
@@ -195,8 +254,9 @@ class EtcdStore:
     # -- transactions --------------------------------------------------------
 
     def check(self, compare: Compare) -> bool:
-        note_read(self.env, self._race_label, compare.key,
-                  "EtcdStore.check")
+        if self.env.race_detector is not None:
+            note_read(self.env, self._race_label, compare.key,
+                      "EtcdStore.check")
         kv = self._data.get(compare.key)
         if compare.field == "value":
             actual = kv.value if kv else None
@@ -256,15 +316,83 @@ class EtcdStore:
         return self._add_watcher(Watcher(self.env, prefix, is_prefix=True))
 
     def _add_watcher(self, watcher: Watcher) -> Watcher:
+        self._watch_seq += 1
+        watcher._seq = self._watch_seq
+        watcher._store = self
         self._watchers.append(watcher)
+        if self._exact_watch is not None:
+            if watcher.is_prefix:
+                node = self._prefix_trie
+                for char in watcher.key:
+                    child = node.children.get(char)
+                    if child is None:
+                        child = node.children[char] = _PrefixTrieNode()
+                    node = child
+                node.watchers.append(watcher)
+            else:
+                self._exact_watch.setdefault(watcher.key, []) \
+                    .append(watcher)
         return watcher
 
+    def _remove_watcher(self, watcher: Watcher) -> None:
+        """Deregister one watcher from the list and the fanout index."""
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            return  # already removed (double close is a no-op)
+        if self._exact_watch is None:
+            return
+        if not watcher.is_prefix:
+            bucket = self._exact_watch.get(watcher.key)
+            if bucket is not None:
+                bucket.remove(watcher)
+                if not bucket:
+                    del self._exact_watch[watcher.key]
+            return
+        # Walk the trie to the prefix node, then prune empty branches.
+        path = [self._prefix_trie]
+        for char in watcher.key:
+            node = path[-1].children.get(char)
+            if node is None:
+                return
+            path.append(node)
+        path[-1].watchers.remove(watcher)
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            if node.watchers or node.children:
+                break
+            del path[depth - 1].children[watcher.key[depth - 1]]
+
+    def _matching_watchers(self, key: str) -> List[Watcher]:
+        """Watchers whose key/prefix matches ``key``, in registration
+        order — byte-identical fanout order to the linear scan."""
+        matched = self._exact_watch.get(key, [])[:]
+        node = self._prefix_trie
+        matched.extend(node.watchers)  # watch_prefix("") sits at the root
+        for char in key:
+            node = node.children.get(char)
+            if node is None:
+                break
+            matched.extend(node.watchers)
+        matched.sort(key=lambda watcher: watcher._seq)
+        return matched
+
     def _notify(self, event: WatchEvent) -> None:
+        self.notify_calls += 1
+        if self._exact_watch is not None:
+            matched = self._matching_watchers(event.key)
+            self.watcher_visits += len(matched)
+            for watcher in matched:
+                watcher.queue.put(event)
+            return
+        # Reference implementation (REPRO_PERF_DISABLE): visit every
+        # live watcher on every write.
         live = []
-        for watcher in self._watchers:
+        for watcher in self._watchers:  # staticcheck: ignore[PERF001] flag-gated linear fallback; the indexed fanout above is the default path
             if watcher.cancelled:
                 continue
             live.append(watcher)
+            self.watcher_visits += 1
             if watcher.matches(event.key):
                 watcher.queue.put(event)
         self._watchers = live
@@ -287,8 +415,9 @@ class EtcdStore:
         lease = self._leases.get(lease_id)
         if lease is None or lease.revoked:
             return False
-        note_write(self.env, self._race_label, f"lease/{lease_id}",
-                   "EtcdStore.keepalive")
+        if self.env.race_detector is not None:
+            note_write(self.env, self._race_label, f"lease/{lease_id}",
+                       "EtcdStore.keepalive")
         lease.deadline = self.env.now + lease.ttl_s
         return True
 
@@ -297,8 +426,9 @@ class EtcdStore:
         lease = self._leases.pop(lease_id, None)
         if lease is None or lease.revoked:
             return False
-        note_write(self.env, self._race_label, f"lease/{lease_id}",
-                   "EtcdStore.revoke")
+        if self.env.race_detector is not None:
+            note_write(self.env, self._race_label, f"lease/{lease_id}",
+                       "EtcdStore.revoke")
         lease.revoked = True
         for key in list(lease.keys):
             self.delete(key)

@@ -59,10 +59,16 @@ class KubeAPI:
 
     def _notify(self, kind: str, verb: str, obj: object) -> None:
         # Every mutation (create/update/delete) funnels through here.
-        note_write(self.env, self._race_label,
-                   f"{kind}/{getattr(obj, 'name', obj)}",
-                   f"KubeAPI.{verb.lower()}")
-        for listener in list(self._listeners[kind]):
+        # The detector check comes before note_write so the label
+        # f-strings are never built on the (detector-off) fast path.
+        if self.env.race_detector is not None:
+            note_write(self.env, self._race_label,
+                       f"{kind}/{getattr(obj, 'name', obj)}",
+                       f"KubeAPI.{verb.lower()}")
+        # Informer semantics: a change to a kind must reach every
+        # subscriber of that kind, so the per-kind lists are already the
+        # index and the fanout below is exact.
+        for listener in list(self._listeners[kind]):  # staticcheck: ignore[PERF001] per-kind lists are the index; fanout is exact
             listener(verb, obj)
 
     def _create(self, kind: str, name: str, obj: object) -> object:
@@ -74,8 +80,9 @@ class KubeAPI:
         return obj
 
     def _get(self, kind: str, name: str) -> object:
-        note_read(self.env, self._race_label, f"{kind}/{name}",
-                  "KubeAPI.get")
+        if self.env.race_detector is not None:
+            note_read(self.env, self._race_label, f"{kind}/{name}",
+                      "KubeAPI.get")
         obj = self._stores[kind].get(name)
         if obj is None:
             raise ObjectNotFoundError(f"{kind}/{name}")
@@ -107,8 +114,9 @@ class KubeAPI:
         return self._get("pods", name)
 
     def try_get_pod(self, name: str) -> Optional[Pod]:
-        note_read(self.env, self._race_label, f"pods/{name}",
-                  "KubeAPI.try_get_pod")
+        if self.env.race_detector is not None:
+            note_read(self.env, self._race_label, f"pods/{name}",
+                      "KubeAPI.try_get_pod")
         return self._stores["pods"].get(name)
 
     def list_pods(self, owner: Optional[str] = None,
@@ -211,8 +219,9 @@ class KubeAPI:
         return self._get("pvcs", name)
 
     def try_get_pvc(self, name: str) -> Optional[PersistentVolumeClaim]:
-        note_read(self.env, self._race_label, f"pvcs/{name}",
-                  "KubeAPI.try_get_pvc")
+        if self.env.race_detector is not None:
+            note_read(self.env, self._race_label, f"pvcs/{name}",
+                      "KubeAPI.try_get_pvc")
         return self._stores["pvcs"].get(name)
 
     def delete_pvc(self, name: str) -> PersistentVolumeClaim:

@@ -36,6 +36,7 @@ from repro.kube.events import (
 from repro.kube.objects import PENDING, Pod
 from repro.kube.scheduling.bsa import bsa_place
 from repro.kube.scheduling.policies import PACK, score_node
+from repro.perf.flags import optimizations_enabled
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 
@@ -113,8 +114,19 @@ class Scheduler:
         self.pods_scheduled = 0
         #: PVC deletions the informer may not have observed yet.
         self._pvc_deleted_at: Dict[str, float] = {}
+        #: Feasibility cache: node name -> {pod shape -> fits?}.  A pod's
+        #: *shape* is everything the predicates look at (resource request
+        #: + node selector), so pods of the same shape share verdicts.
+        #: ``None`` under REPRO_PERF_DISABLE.
+        self._feas_cache: Optional[Dict[str, Dict[tuple, bool]]] = \
+            {} if optimizations_enabled() else None
+        #: Full predicate evaluations vs verdicts served from the cache —
+        #: the quantities BENCH_sched.json tracks.
+        self.filter_evals = 0
+        self.filter_cache_hits = 0
         api.subscribe("pods", self._on_pod_change)
         api.subscribe("pvcs", self._on_pvc_change)
+        api.subscribe("nodes", self._on_node_change)
         self._loop = env.process(self._run(), name="scheduler")
 
     # -- queue management -------------------------------------------------------
@@ -147,6 +159,23 @@ class Scheduler:
     def _on_pvc_change(self, verb: str, pvc) -> None:
         if verb == "DELETED":
             self._pvc_deleted_at[pvc.name] = self.env.now
+
+    def _on_node_change(self, verb: str, node) -> None:
+        # Every ready/cordon transition funnels through update_node, so
+        # this listener (plus reserve/release below) is complete
+        # invalidation coverage.  Invalidation only — waking the loop
+        # stays the caller's decision, as before the cache existed.
+        self.invalidate_node(node.name)
+
+    def invalidate_node(self, node_name: str) -> None:
+        """Drop cached predicate verdicts for one node.
+
+        Called whenever anything a predicate reads changes: the node's
+        allocation (reserve/release) or the node object itself
+        (ready/cordon transitions via ``update_node``).
+        """
+        if self._feas_cache is not None:
+            self._feas_cache.pop(node_name, None)
 
     def kick(self) -> None:
         """Wake the scheduling loop (new pod, freed resources, bound PVC)."""
@@ -270,16 +299,34 @@ class Scheduler:
         return None
 
     def _feasible_nodes(self, pod: Pod) -> List[str]:
+        cache = self._feas_cache
+        if cache is None:
+            return [node.name for node in self.api.list_nodes()
+                    if self._node_fits(pod, node)]
+        shape = (pod.spec.resources,
+                 tuple(sorted(pod.spec.node_selector.items())))
         feasible = []
         for node in self.api.list_nodes():
-            if not node.is_ready:
-                continue
-            if not self._selector_matches(pod, node):
-                continue
-            allocation = self.cluster.allocation(node.name)
-            if allocation.fits(pod.spec.resources):
+            per_node = cache.get(node.name)
+            if per_node is None:
+                per_node = cache[node.name] = {}
+            fits = per_node.get(shape)
+            if fits is None:
+                fits = per_node[shape] = self._node_fits(pod, node)
+            else:
+                self.filter_cache_hits += 1
+            if fits:
                 feasible.append(node.name)
         return feasible
+
+    def _node_fits(self, pod: Pod, node) -> bool:
+        """One full predicate evaluation (the uncached reference path)."""
+        self.filter_evals += 1
+        if not node.is_ready:
+            return False
+        if not self._selector_matches(pod, node):
+            return False
+        return self.cluster.allocation(node.name).fits(pod.spec.resources)
 
     def _selector_matches(self, pod: Pod, node) -> bool:
         return all(node.meta.labels.get(k) == v

@@ -18,6 +18,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.perf.flags import optimizations_enabled
 
 #: Sentinel priority classes: urgent events (process resumption) fire before
 #: normal events scheduled at the same timestamp; observer events fire after
@@ -45,7 +46,12 @@ class Event:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[["Event"], None]] = []
+        # Callback lists are the kernel's highest-frequency allocation;
+        # recycle processed events' (cleared) lists through a small
+        # per-environment pool instead of allocating fresh ones.
+        pool = env._cb_pool
+        self.callbacks: list[Callable[["Event"], None]] = \
+            pool.pop() if pool else []
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
@@ -270,6 +276,9 @@ class Environment:
     _SEQ_MODULUS = 2 ** 61
     _SEQ_MASK = _SEQ_MODULUS - 1
 
+    #: Recycled callback lists kept per environment (see Event.__init__).
+    _CB_POOL_CAP = 512
+
     def __init__(self, initial_time: float = 0.0,
                  tiebreak_seed: int = 0):
         if tiebreak_seed < 0:
@@ -281,9 +290,22 @@ class Environment:
         self.tiebreak_seed = tiebreak_seed
         self._seq_salt = (tiebreak_seed * 0x9E3779B97F4A7C15) \
             & self._SEQ_MASK
+        #: With the default seed the mixer is the identity; skip the
+        #: call entirely on the scheduling hot path.
+        self._seq_identity = tiebreak_seed == 0
         self._pids = itertools.count(1)
         #: Attached repro.sim.race.RaceDetector, or None (the fast path).
         self.race_detector = None
+        #: Attached repro.perf.profiler.KernelProfiler, or None.
+        self._profiler = None
+        #: Kernel ops counters: always on (two integer increments per
+        #: event), deterministic, and the basis of BENCH_kernel.json.
+        self.events_scheduled = 0
+        self.events_processed = 0
+        #: Callback-list free pool; None when REPRO_PERF_DISABLE is set
+        #: (Event.__init__ then always allocates fresh lists).
+        self._cb_pool: Optional[list] = \
+            [] if optimizations_enabled() else None
         #: label -> substrate; see :meth:`register_shared_store`.
         self.shared_stores: dict[str, object] = {}
 
@@ -335,10 +357,15 @@ class Environment:
         if event._scheduled:
             raise SimulationError("event already scheduled")
         event._scheduled = True
-        seq = self._permute_seq(next(self._counter))
+        seq = next(self._counter)
+        if not self._seq_identity:
+            seq = self._permute_seq(seq)
         if self.race_detector is not None:
             # Send edge: stamp the event with the sender's clock.
             self.race_detector.on_send(event)
+        if self._profiler is not None:
+            self._profiler.on_schedule(event)
+        self.events_scheduled += 1
         heapq.heappush(self._queue,
                        (self._now + delay, priority, seq, event))
 
@@ -370,19 +397,40 @@ class Environment:
         self._now = max(self._now, when)
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
+        self.events_processed += 1
+        if self.race_detector is not None or self._profiler is not None:
+            self._step_instrumented(event, callbacks)
+        else:
+            for callback in callbacks:
+                callback(event)
+        # A processed event never receives new callbacks (every waiter
+        # checks _processed first), so its drained list can be reused.
+        pool = self._cb_pool
+        if pool is not None and len(pool) < self._CB_POOL_CAP:
+            callbacks.clear()
+            pool.append(callbacks)
+
+    def _step_instrumented(self, event: Event, callbacks: list) -> None:
+        """The step callback loop with race/profiler hooks engaged."""
         detector = self.race_detector
+        profiler = self._profiler
         if detector is not None:
             # Callbacks run on behalf of this event; anything they
             # trigger inherits its clock (fan-in/fan-out HB edges).
             detector.on_step(event)
-            try:
+        try:
+            if profiler is not None:
+                for callback in callbacks:
+                    before = self.events_scheduled
+                    callback(event)
+                    profiler.on_callback(
+                        callback, self.events_scheduled - before)
+            else:
                 for callback in callbacks:
                     callback(event)
-            finally:
+        finally:
+            if detector is not None:
                 detector.on_step(None)
-            return
-        for callback in callbacks:
-            callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock passes ``until``."""

@@ -20,13 +20,19 @@ class RngRegistry:
         self._streams: Dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
-        """Return (creating if needed) the stream for ``name``."""
-        if name not in self._streams:
+        """Return (creating if needed) the stream for ``name``.
+
+        One dict probe on the hit path; the sha256 seed derivation runs
+        exactly once per name, so repeated lookups from hot loops (e.g.
+        per-pod scheduling decisions) cost a hash-table get.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
             digest = hashlib.sha256(
                 f"{self.master_seed}:{name}".encode()).digest()
-            self._streams[name] = random.Random(
+            stream = self._streams[name] = random.Random(
                 int.from_bytes(digest[:8], "big"))
-        return self._streams[name]
+        return stream
 
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose streams are independent of this one's."""

@@ -35,6 +35,9 @@ RULE_CATALOG = {
                "for-range(max_attempts) or a Deadline check"),
     "SAF004": ("Event/Timeout constructed but never yielded, stored, or "
                "triggered; a waiter on it can never wake (lost wakeup)"),
+    "PERF001": ("O(all subscribers) scan over a watcher/listener "
+                "collection in a notify/emit hot path; index "
+                "subscribers by match key"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
 }
@@ -121,6 +124,20 @@ RULE_EXPLANATIONS = {
         "done = env.event()       # never yielded or stored",
         "done = env.event()\n"
         "self._done = done        # observable: someone can trigger it",
+    ),
+    "PERF001": (
+        "Fanout paths run once per mutation; scanning every registered "
+        "watcher to find the few that match makes writes O(subscribers) "
+        "and dominates large-scenario runtime.  Index the collection by "
+        "what subscribers match on, or — if every element really must "
+        "see every notification — suppress with that reason.",
+        "def _notify(self, event):\n"
+        "    for w in self._watchers:\n"
+        "        if w.matches(event.key):\n"
+        "            w.deliver(event)",
+        "def _notify(self, event):\n"
+        "    for w in self._index.matching(event.key):\n"
+        "        w.deliver(event)",
     ),
     "SUP001": (
         "An unexplained suppression is silent drift: nobody can tell "

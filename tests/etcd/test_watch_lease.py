@@ -72,6 +72,61 @@ def test_cancelled_watcher_gets_nothing():
     assert watcher.pending() == 0
 
 
+def test_close_deregisters_from_fanout_and_is_idempotent():
+    env = Environment()
+    store = EtcdStore(env)
+    exact = store.watch("k")
+    prefix = store.watch_prefix("pre/")
+    exact.close()
+    prefix.close()
+    prefix.close()  # double close is a no-op
+    before = store.watcher_visits
+    store.put("k", 1)
+    store.put("pre/a", 2)
+    assert store.watcher_visits == before  # nothing left to visit
+    assert exact.pending() == 0
+    assert prefix.pending() == 0
+
+
+def test_watcher_context_manager_closes_on_exit():
+    env = Environment()
+    store = EtcdStore(env)
+    with store.watch_prefix("jobs/") as watcher:
+        store.put("jobs/1", "a")
+        assert watcher.pending() == 1
+    assert watcher.cancelled
+    store.put("jobs/2", "b")
+    assert watcher.pending() == 1  # no delivery after the with-block
+
+
+def test_indexed_fanout_matches_order_across_watcher_kinds():
+    """Exact and prefix watchers on the same key must be delivered in
+    registration order regardless of which index found them."""
+    env = Environment()
+    store = EtcdStore(env)
+    order = []
+    first = store.watch_prefix("a/")
+    second = store.watch("a/b")
+    third = store.watch_prefix("")
+
+    def consumer(name, watcher):
+        while True:
+            yield watcher.get()
+            order.append(name)
+
+    env.process(consumer("prefix", first))
+    env.process(consumer("exact", second))
+    env.process(consumer("root", third))
+
+    def producer():
+        yield env.timeout(1)
+        store.put("a/b", 1)
+
+    env.process(producer())
+    env.run(until=5)
+    assert order == ["prefix", "exact", "root"]
+
+
 def test_watch_events_carry_monotonic_revisions():
     env = Environment()
     store = EtcdStore(env)

@@ -61,6 +61,19 @@ def test_stream_creation_mid_run_does_not_perturb_in_flight_draws():
     assert b_aux == a_aux
 
 
+def test_memoized_lookup_preserves_sequences():
+    """The fast-path dict probe in ``stream`` must hand back the exact
+    stream object every time: draws interleaved across many lookups
+    equal draws from a single held reference."""
+    reg_held = RngRegistry(23)
+    held = reg_held.stream("x")
+    expected = [held.random() for _ in range(50)]
+
+    reg_lookup = RngRegistry(23)
+    got = [reg_lookup.stream("x").random() for _ in range(50)]
+    assert got == expected
+
+
 def test_fork_is_deterministic_and_independent():
     reg = RngRegistry(5)
     child1 = reg.fork("exp")

@@ -1,0 +1,21 @@
+# staticcheck: fixture
+"""PERF001 clean corpus: indexed fanout and non-hot-path scans."""
+
+
+class Store:
+    def __init__(self):
+        self._watchers = []
+        self._by_key = {}
+
+    def _notify(self, event):
+        # Indexed fanout: only the matching subset is touched.
+        for watcher in self._by_key.get(event.key, ()):
+            watcher.deliver(event)
+
+    def prune(self):
+        # Scanning every watcher outside a fanout path is fine:
+        # maintenance runs rarely, notification runs per write.
+        self._watchers = [w for w in self._watchers if not w.cancelled]
+
+    def watcher_count(self):
+        return sum(1 for _ in self._watchers)

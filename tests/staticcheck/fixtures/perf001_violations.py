@@ -1,0 +1,24 @@
+# staticcheck: fixture
+"""PERF001 corpus: linear subscriber scans in fanout hot paths."""
+
+
+class Store:
+    def __init__(self):
+        self._watchers = []
+        self.listeners = {}
+
+    def _notify(self, event):
+        for watcher in self._watchers:  # <- PERF001
+            if watcher.matches(event.key):
+                watcher.deliver(event)
+
+    def emit(self, topic, payload):
+        interested = [li for li in self.listeners.values()  # <- PERF001
+                      if li.topic == topic]
+        for li in interested:
+            li(payload)
+
+
+def broadcast(subscribers, message):
+    for sub in list(subscribers):  # <- PERF001
+        sub.send(message)

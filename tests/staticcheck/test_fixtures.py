@@ -22,6 +22,7 @@ VIOLATION_FIXTURES = {
     "res001_violations.py": "RES001",
     "saf004_violations.py": "SAF004",
     "saf001_path_violations.py": "SAF001",
+    "perf001_violations.py": "PERF001",
 }
 
 CLEAN_FIXTURES = [
@@ -29,6 +30,7 @@ CLEAN_FIXTURES = [
     "res001_clean.py",
     "saf004_clean.py",
     "saf001_path_clean.py",
+    "perf001_clean.py",
 ]
 
 

@@ -75,6 +75,11 @@ VIOLATIONS = {
         def f(env):
             env.event()
     """,
+    "PERF001": """
+        def notify(watchers, event):
+            for w in watchers:
+                w.deliver(event)
+    """,
 }
 
 
