@@ -584,8 +584,7 @@ class ChaosEngine:
             raise SimulationError("ChaosEngine instances are single-use; "
                                   "build a fresh one per run")
         self._ran = True
-        scenario = self.scenario
-        first_fault = min((step.at_s for step in scenario.steps),
+        first_fault = min((step.at_s for step in self.scenario.steps),
                           default=0.0)
 
         def baseline():
@@ -594,9 +593,10 @@ class ChaosEngine:
 
         self.env.process(baseline(), name="chaos-baseline")
         self.env.process(self._churn(), name="chaos-churn")
-        for step in scenario.steps:
+        for step in self.scenario.steps:
             self._schedule_step(step)
-        self.env.run(until=scenario.horizon_s + scenario.settle_s)
+        self.env.run(until=self.scenario.horizon_s
+                     + self.scenario.settle_s)
         self.env.run_until_complete(
             self.env.process(self._check_hypotheses("steady-state:after"),
                              name="chaos-final"),

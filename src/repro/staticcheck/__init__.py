@@ -35,12 +35,18 @@ from repro.staticcheck.engine import (
     ALL_RULES,
     AnalysisContext,
     analyze_paths,
+    analyze_project,
     analyze_source,
     analyze_tree,
     default_target,
     iter_python_files,
 )
 from repro.staticcheck.findings import Finding, RULE_CATALOG
+from repro.staticcheck.interproc import (
+    Project,
+    Summary,
+    build_project,
+)
 from repro.staticcheck.runtime import (
     KubeStateMachineChecker,
     RaftInvariantChecker,
@@ -51,11 +57,15 @@ __all__ = [
     "AnalysisContext",
     "Finding",
     "KubeStateMachineChecker",
+    "Project",
     "RULE_CATALOG",
     "RaftInvariantChecker",
+    "Summary",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "analyze_tree",
+    "build_project",
     "default_target",
     "iter_python_files",
 ]

@@ -207,7 +207,6 @@ class _Builder:
         return preds
 
     def build_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
-        cfg = self.cfg
         if isinstance(stmt, ast.If):
             return self._build_if(stmt, preds)
         if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
@@ -226,7 +225,7 @@ class _Builder:
         if isinstance(stmt, ast.Raise):
             if self._handlers:
                 for handler in self._handlers[-1]:
-                    cfg._edge(index, handler)
+                    self.cfg._edge(index, handler)
             self._escape(index)
             return []
         if isinstance(stmt, ast.Break):
@@ -236,7 +235,7 @@ class _Builder:
         if isinstance(stmt, ast.Continue):
             if self._loops and \
                     self._loops[-1].continue_target is not None:
-                cfg._edge(index, self._loops[-1].continue_target)
+                self.cfg._edge(index, self._loops[-1].continue_target)
             return []
         return [index]
 

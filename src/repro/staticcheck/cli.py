@@ -7,20 +7,24 @@ Usage::
     python -m repro.staticcheck --format md      # Markdown findings table
     python -m repro.staticcheck --format json    # machine-readable report
     python -m repro.staticcheck --format github  # GitHub ::error lines
+    python -m repro.staticcheck --format sarif   # SARIF 2.1.0 report
     python -m repro.staticcheck --list-rules     # print the rule catalog
     python -m repro.staticcheck --explain SAF001 # rule rationale + fix
     python -m repro.staticcheck path/to/file.py  # analyze specific paths
+    python -m repro.staticcheck --summary-cache .staticcheck/cache.json
+                                # reuse effect summaries across runs
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import textwrap
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.staticcheck.engine import analyze_paths, default_target
+from repro.staticcheck.engine import analyze_project, default_target
 from repro.staticcheck.findings import (
     Finding,
     RULE_CATALOG,
@@ -70,6 +74,54 @@ def render_github(findings: List[Finding],
     return "\n".join(lines)
 
 
+def render_sarif(findings: List[Finding],
+                 suppressed: List[Finding]) -> str:
+    """SARIF 2.1.0, consumable by GitHub code scanning upload."""
+    rules = [{
+        "id": code,
+        "shortDescription": {"text": description},
+        **({"fullDescription": {"text": RULE_EXPLANATIONS[code][0]}}
+           if code in RULE_EXPLANATIONS else {}),
+    } for code, description in sorted(RULE_CATALOG.items())]
+    results = [{
+        "ruleId": f.code,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": {"startLine": max(f.line, 1)},
+            },
+        }],
+    } for f in findings]
+    results.extend({
+        "ruleId": f.code,
+        "level": "note",
+        "message": {"text": f.message},
+        "suppressions": [{"kind": "inSource"}],
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": {"startLine": max(f.line, 1)},
+            },
+        }],
+    } for f in suppressed)
+    return json.dumps({
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.staticcheck",
+                "informationUri":
+                    "https://github.com/repro/repro#staticcheck",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }, indent=2, sort_keys=True)
+
+
 def render_explanation(code: str) -> str:
     why, bad, good = RULE_EXPLANATIONS[code]
     indent = "    "
@@ -104,8 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero if any unsuppressed finding "
                              "remains")
     parser.add_argument("--format",
-                        choices=("text", "md", "json", "github"),
+                        choices=("text", "md", "json", "github",
+                                 "sarif"),
                         default="text", help="findings report format")
+    parser.add_argument("--summary-cache", metavar="PATH", default=None,
+                        help="JSON file caching per-module effect "
+                             "summaries by content hash; unchanged "
+                             "modules skip re-extraction")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--explain", metavar="RULE_ID",
@@ -119,6 +176,7 @@ _RENDERERS = {
     "md": render_markdown,
     "json": render_json,
     "github": render_github,
+    "sarif": render_sarif,
 }
 
 
@@ -139,8 +197,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for target in targets:
         if not target.exists():
             parser.error(f"no such file or directory: {target}")
-    findings, suppressed = analyze_paths(targets)
+    cache_path = Path(args.summary_cache) if args.summary_cache else None
+    findings, suppressed, project = analyze_project(
+        targets, cache_path=cache_path)
     print(_RENDERERS[args.format](findings, suppressed))
+    if cache_path is not None and project.cache_stats is not None:
+        print(project.cache_stats.render(), file=sys.stderr)
     if args.strict and findings:
         return 1
     return 0

@@ -8,6 +8,13 @@ Suppression syntax (one per line, reason mandatory)::
 A suppression with no reason is inert *and* reported as ``SUP001`` — an
 unexplained suppression is exactly the kind of silent drift this tool
 exists to prevent.
+
+Directory runs are two-phase: every module is parsed (or restored from
+the summary cache) first so the interprocedural pass sees the whole
+project, then each module is checked with the shared
+:class:`~repro.staticcheck.interproc.callgraph.Project` on the context.
+Single-source runs (``analyze_source``) build a one-module project, so
+the cross-function rules still fire on intra-module chains.
 """
 
 from __future__ import annotations
@@ -16,17 +23,25 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.staticcheck.findings import Finding, RULE_CATALOG
 from repro.staticcheck.flowrules import FLOW_RULES
+from repro.staticcheck.interproc import (
+    INTERPROC_RULES,
+    ModuleRecord,
+    Project,
+    build_project,
+)
 from repro.staticcheck.rules import SYNTACTIC_RULES, build_import_map
+from repro.staticcheck.suppress import (  # noqa: F401  (re-exported API)
+    Suppression,
+    parse_suppressions,
+)
 
-#: Every rule — syntactic walkers plus the CFG-based flow rules.
-ALL_RULES = SYNTACTIC_RULES + FLOW_RULES
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
+#: Every rule — syntactic walkers, CFG flow rules, and the
+#: interprocedural rules backed by the project call graph.
+ALL_RULES = SYNTACTIC_RULES + FLOW_RULES + INTERPROC_RULES
 
 #: Module pragma marking a file as an analyzer *fixture*: a corpus file
 #: whose findings are asserted by the test suite, not repo defects.
@@ -42,43 +57,14 @@ class AnalysisContext:
     tree: ast.Module
     display_path: str
     imports: Dict[str, str] = field(default_factory=dict)
+    #: The whole-project view (call graph + summaries); ``None`` only
+    #: when a rule is invoked outside the normal drivers.
+    project: Optional[Project] = None
 
 
-@dataclass
-class Suppression:
-    line: int
-    codes: Set[str]
-    reason: str
-
-
-def parse_suppressions(source: str) -> List[Suppression]:
-    suppressions = []
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        codes = {code.strip().upper()
-                 for code in match.group(1).split(",") if code.strip()}
-        suppressions.append(
-            Suppression(lineno, codes, match.group(2).strip()))
-    return suppressions
-
-
-def analyze_source(source: str, display_path: str = "<string>",
-                   rules: Sequence = ALL_RULES,
-                   ) -> Tuple[List[Finding], List[Finding]]:
-    """Run ``rules`` over one module's source.
-
-    Returns ``(findings, suppressed)``: the first list is what should
-    fail a build, the second what valid suppressions silenced.
-    """
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as err:
-        return ([Finding("SYNTAX", display_path, err.lineno or 0,
-                         f"cannot parse: {err.msg}")], [])
-    ctx = AnalysisContext(tree=tree, display_path=display_path,
-                          imports=build_import_map(tree))
+def _check_module(ctx: AnalysisContext, source: str,
+                  rules: Sequence) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` on a parsed module and apply its suppressions."""
     raw: List[Finding] = []
     for rule in rules:
         raw.extend(rule.check(ctx))
@@ -97,11 +83,34 @@ def analyze_source(source: str, display_path: str = "<string>",
     for suppression in suppressions:
         if not suppression.reason:
             findings.append(Finding(
-                "SUP001", display_path, suppression.line,
+                "SUP001", ctx.display_path, suppression.line,
                 RULE_CATALOG["SUP001"]))
     findings.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
     return findings, suppressed
+
+
+def analyze_source(source: str, display_path: str = "<string>",
+                   rules: Sequence = ALL_RULES,
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over one module's source.
+
+    Returns ``(findings, suppressed)``: the first list is what should
+    fail a build, the second what valid suppressions silenced.  The
+    interprocedural rules see a one-module project, so cross-function
+    findings within the module still fire.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return ([Finding("SYNTAX", display_path, err.lineno or 0,
+                         f"cannot parse: {err.msg}")], [])
+    project = build_project(
+        [ModuleRecord(display_path, source, tree)])
+    ctx = AnalysisContext(tree=tree, display_path=display_path,
+                          imports=build_import_map(tree),
+                          project=project)
+    return _check_module(ctx, source, rules)
 
 
 def _is_fixture(source: str) -> bool:
@@ -127,21 +136,58 @@ def _display(path: Path) -> str:
     return text[index:] if index >= 0 else text
 
 
-def analyze_paths(paths: Iterable[Path], rules: Sequence = ALL_RULES,
-                  ) -> Tuple[List[Finding], List[Finding]]:
-    """Analyze every Python file under each of ``paths``."""
+def analyze_project(paths: Iterable[Path], rules: Sequence = ALL_RULES,
+                    cache_path: Optional[Path] = None,
+                    ) -> Tuple[List[Finding], List[Finding], Project]:
+    """Analyze every Python file under each of ``paths``.
+
+    Returns ``(findings, suppressed, project)``; the project carries
+    ``cache_stats`` when ``cache_path`` was given.
+    """
     findings: List[Finding] = []
     suppressed: List[Finding] = []
+    records: List[ModuleRecord] = []
+    seen: set = set()
     for root in paths:
         for path in iter_python_files(Path(root)):
+            display = _display(path)
+            if display in seen:
+                continue
+            seen.add(display)
             source = path.read_text(encoding="utf-8")
             if _is_fixture(source):
                 continue
-            got, hidden = analyze_source(source, _display(path), rules)
-            findings.extend(got)
-            suppressed.extend(hidden)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as err:
+                findings.append(Finding(
+                    "SYNTAX", display, err.lineno or 0,
+                    f"cannot parse: {err.msg}"))
+                continue
+            records.append(ModuleRecord(display, source, tree))
+
+    project = build_project(records, cache_path)
+    for record in records:
+        tree = record.tree if record.tree is not None \
+            else ast.parse(record.source)
+        ctx = AnalysisContext(tree=tree,
+                              display_path=record.display_path,
+                              imports=build_import_map(tree),
+                              project=project)
+        got, hidden = _check_module(ctx, record.source, rules)
+        findings.extend(got)
+        suppressed.extend(hidden)
     findings.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
+    return findings, suppressed, project
+
+
+def analyze_paths(paths: Iterable[Path], rules: Sequence = ALL_RULES,
+                  cache_path: Optional[Path] = None,
+                  ) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze every Python file under each of ``paths``."""
+    findings, suppressed, _project = analyze_project(
+        paths, rules, cache_path)
     return findings, suppressed
 
 

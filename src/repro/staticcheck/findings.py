@@ -22,9 +22,20 @@ RULE_CATALOG = {
     "CONC001": ("local snapshot of a mutable shared attribute is used "
                 "after a yield point without re-validation; other "
                 "processes may have changed it (stale read)"),
+    "CONC002": ("local snapshot of a mutable shared attribute is used "
+                "after a call whose callee transitively yields; the "
+                "callee can block and other processes may have changed "
+                "it (interprocedural stale read)"),
+    "DET004": ("call chain from simulation-driven code reaches a "
+               "wall-clock read or global random draw in a callee; "
+               "plumb env.now / an RngRegistry stream through the "
+               "chain (transitive nondeterminism)"),
     "RES001": ("acquired resource (watch, lease, claim, ...) is not "
                "released on every path out of the function; wrap the "
                "use in try/finally"),
+    "RES002": ("resource obtained from a wrapper (or kept after a "
+               "use-only callee) is never released; ownership stayed "
+               "in this function across the call boundary and leaks"),
     "SAF001": ("exception handler can swallow sim.core.Interrupt — "
                "broad catch, or an Interrupt handler that does not "
                "re-raise on every path"),
@@ -35,9 +46,16 @@ RULE_CATALOG = {
                "for-range(max_attempts) or a Deadline check"),
     "SAF004": ("Event/Timeout constructed but never yielded, stored, or "
                "triggered; a waiter on it can never wake (lost wakeup)"),
+    "SAF005": ("nested retry policies across the call chain: a retry "
+               "loop invokes an operation that already retries "
+               "internally, multiplying attempts and compounding "
+               "backoff; retry at exactly one layer"),
     "PERF001": ("O(all subscribers) scan over a watcher/listener "
                 "collection in a notify/emit hot path; index "
                 "subscribers by match key"),
+    "PERF002": ("notify/emit hot path calls a helper that transitively "
+                "performs a linear watcher/listener scan; every "
+                "notification pays O(all subscribers) in the callee"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
 }
@@ -76,6 +94,36 @@ RULE_EXPLANATIONS = {
         "if self.leader is not None:\n"
         "    self.leader.send(msg)",
     ),
+    "CONC002": (
+        "A callee that transitively reaches a yield point can give up "
+        "control before returning, so calling it is as preemptive as "
+        "yielding directly: any snapshot of shared state taken before "
+        "the call may be stale afterwards.  CONC001 catches the literal "
+        "yield; this rule catches the same hazard hidden behind a call "
+        "boundary, and its message prints the yielding call chain.",
+        "leader = self.leader\n"
+        "self._replicate(entry)   # _replicate yields internally\n"
+        "leader.send(ack)         # leader may have changed",
+        "self._replicate(entry)\n"
+        "if self.leader is not None:\n"
+        "    self.leader.send(ack)",
+    ),
+    "DET004": (
+        "DET001/DET002 flag the nondeterministic source where it is "
+        "written; but the replay hazard materializes where that source "
+        "feeds simulation-driven code.  This rule reports the call "
+        "site in a yielding (sim-facing) function whose callee chain "
+        "reaches a wall-clock read or global random draw, with the "
+        "full chain in the message.  A reasoned DET001/DET002 "
+        "suppression at the source declares it replay-safe and stops "
+        "the taint from cascading into every caller.",
+        "def run(self, env):\n"
+        "    delay = self._jitter()   # _jitter -> random.uniform\n"
+        "    yield env.timeout(delay)",
+        "def run(self, env, rng):\n"
+        "    delay = self._jitter(rng.stream('jitter'))\n"
+        "    yield env.timeout(delay)",
+    ),
     "RES001": (
         "Watches, leases and claims registered with a substrate outlive "
         "the function unless explicitly released; a path that returns "
@@ -87,6 +135,24 @@ RULE_EXPLANATIONS = {
         "w = store.watch_prefix(p)\n"
         "try:\n"
         "    ...\n"
+        "finally:\n"
+        "    w.cancel()",
+    ),
+    "RES002": (
+        "RES001 sees acquisitions written in the function itself; "
+        "ownership also arrives through calls.  A wrapper whose "
+        "summary says it returns a fresh watch/lease makes its call "
+        "site an acquisition site, and passing a resource to a callee "
+        "that only *uses* its parameter (never releases or stores it) "
+        "leaves ownership — and the leak — with the caller.  Passing "
+        "to an unknown callee still counts as an ownership transfer, "
+        "so the rule under-approximates rather than guesses.",
+        "w = make_watch(store, p)  # wrapper returns a fresh watch\n"
+        "consume(w)                # use-only callee\n"
+        "return                    # nobody ever cancels w",
+        "w = make_watch(store, p)\n"
+        "try:\n"
+        "    consume(w)\n"
         "finally:\n"
         "    w.cancel()",
     ),
@@ -125,6 +191,21 @@ RULE_EXPLANATIONS = {
         "done = env.event()\n"
         "self._done = done        # observable: someone can trigger it",
     ),
+    "SAF005": (
+        "Retry policies compose multiplicatively: an outer 4-attempt "
+        "loop around an operation that itself retries 4 times makes 16 "
+        "attempts, and the exponential backoffs compound into stalls "
+        "no single policy describes.  Flagged at the outer call site — "
+        "a retry loop calling a transitively-retrying function, or a "
+        "retrying operation passed into a retrying wrapper.  Retry at "
+        "exactly one layer and let inner failures surface.",
+        "for attempt in range(4):\n"
+        "    try:\n"
+        "        yield from fetch_with_retry(env, key)\n"
+        "    except StoreError:\n"
+        "        yield env.timeout(2 ** attempt)",
+        "yield from fetch_with_retry(env, key)  # one policy, inside",
+    ),
     "PERF001": (
         "Fanout paths run once per mutation; scanning every registered "
         "watcher to find the few that match makes writes O(subscribers) "
@@ -135,6 +216,20 @@ RULE_EXPLANATIONS = {
         "    for w in self._watchers:\n"
         "        if w.matches(event.key):\n"
         "            w.deliver(event)",
+        "def _notify(self, event):\n"
+        "    for w in self._index.matching(event.key):\n"
+        "        w.deliver(event)",
+    ),
+    "PERF002": (
+        "Moving a subscriber scan out of the notify path and into a "
+        "helper does not make it cheaper — the hot path still pays "
+        "O(all subscribers) per notification, it just hides from "
+        "PERF001's local view.  This rule follows the call chain from "
+        "hot-named functions to the scanning callee and reports at the "
+        "hot-path call site.  A reasoned PERF001 suppression on the "
+        "scan itself (exact fanout) removes it from the summaries.",
+        "def _notify(self, event):\n"
+        "    self._deliver_all(event)   # scans self._watchers inside",
         "def _notify(self, event):\n"
         "    for w in self._index.matching(event.key):\n"
         "        w.deliver(event)",

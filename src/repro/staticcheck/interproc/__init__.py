@@ -1,0 +1,74 @@
+"""Interprocedural analysis: call graph, effect summaries, rules.
+
+Entry point is :func:`build_project`: hand it the parsed modules of an
+analysis run and it returns a :class:`Project` with the call graph
+indexed, per-function effect summaries propagated to a fixpoint, and
+(optionally) a content-hash cache consulted so unchanged modules skip
+extraction entirely.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.staticcheck.interproc.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    SummaryCache,
+)
+from repro.staticcheck.interproc.callgraph import (
+    ModuleInfo,
+    ModuleRecord,
+    Project,
+    extract_module,
+)
+from repro.staticcheck.interproc.rules import INTERPROC_RULES
+from repro.staticcheck.interproc.summaries import (
+    Summary,
+    compute_summaries,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "INTERPROC_RULES",
+    "ModuleInfo",
+    "ModuleRecord",
+    "Project",
+    "Summary",
+    "SummaryCache",
+    "build_project",
+    "compute_summaries",
+    "extract_module",
+]
+
+
+def build_project(records: Iterable[ModuleRecord],
+                  cache_path: Optional[Path] = None) -> Project:
+    """Extract (or cache-load) every module, then propagate summaries.
+
+    ``records`` whose ``tree`` is ``None`` must still parse — callers
+    filter out syntactically broken files first.  When ``cache_path``
+    is given, unchanged modules (by content hash) are rebuilt from the
+    cache without touching their AST, and the refreshed cache is
+    written back; ``project.cache_stats`` reports the split.
+    """
+    import ast
+
+    cache = SummaryCache(cache_path)
+    modules = {}
+    for record in records:
+        info = cache.lookup(record.display_path, record.source)
+        if info is None:
+            tree = record.tree if record.tree is not None \
+                else ast.parse(record.source)
+            info = extract_module(record.display_path, record.source,
+                                  tree)
+            cache.store(record.display_path, record.source, info)
+        modules[record.display_path] = info
+    cache.save()
+    project = Project(modules)
+    compute_summaries(project)
+    project.cache_stats = cache.stats
+    return project

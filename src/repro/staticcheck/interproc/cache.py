@@ -1,0 +1,91 @@
+"""Content-hash summary cache: re-extract only changed modules.
+
+The cache stores, per display path, the SHA-256 of the module source
+and the serialized :class:`~repro.staticcheck.interproc.callgraph.
+ModuleInfo` (local effect summaries, call sites, class table, import
+map).  On a warm run an unchanged module is rebuilt from JSON without
+touching its AST — extraction, the expensive half of the
+interprocedural pass, is skipped entirely; only the cross-module
+propagation fixpoint (cheap: one graph walk over pre-digested facts)
+runs every time, because a callee in *another* module may have changed.
+
+Cache keying is therefore exactly per-module content: a byte-identical
+rerun recomputes zero summaries (``CacheStats.recomputed == 0``), and
+editing one module recomputes one.  The cache format is versioned;
+a version bump (new effect facets) invalidates everything at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.staticcheck.interproc.callgraph import ModuleInfo
+
+#: Bump when LocalFn/ModuleInfo serialization changes.
+CACHE_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """How much extraction work the cache saved this run."""
+
+    reused: int = 0
+    recomputed: int = 0
+
+    def render(self) -> str:
+        return (f"summary cache: {self.reused} module(s) reused, "
+                f"{self.recomputed} recomputed")
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """JSON-on-disk map ``display path -> (hash, ModuleInfo)``."""
+
+    def __init__(self, path: Optional[Path]):
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._old: Dict[str, dict] = {}
+        self._new: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if data.get("version") == CACHE_VERSION:
+                self._old = data.get("modules", {})
+
+    def lookup(self, display_path: str, source: str,
+               ) -> Optional[ModuleInfo]:
+        """The cached ModuleInfo when the content hash matches."""
+        entry = self._old.get(display_path)
+        if entry is None or entry.get("hash") != content_hash(source):
+            return None
+        try:
+            info = ModuleInfo.from_dict(entry["data"])
+        except (KeyError, TypeError):
+            return None
+        self.stats.reused += 1
+        self._new[display_path] = entry
+        return info
+
+    def store(self, display_path: str, source: str,
+              info: ModuleInfo) -> None:
+        self.stats.recomputed += 1
+        self._new[display_path] = {"hash": content_hash(source),
+                                   "data": info.to_dict()}
+
+    def save(self) -> None:
+        """Persist entries for the modules seen this run."""
+        if self.path is None:
+            return
+        payload = {"version": CACHE_VERSION, "modules": self._new}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8")

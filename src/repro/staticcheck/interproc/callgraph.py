@@ -1,0 +1,596 @@
+"""Project-wide call graph and per-function local effect extraction.
+
+The graph covers module-level functions and depth-1 class methods of
+every analyzed module.  Call sites are classified syntactically:
+
+* ``name`` — a bare-name call (``helper(...)``), resolved against the
+  module's own functions first, then through the import map;
+* ``self`` — ``self.method(...)``, resolved through the enclosing class
+  and its (import-resolved) base classes;
+* ``dotted`` — ``mod.func(...)`` / ``Class.method(...)``, canonicalized
+  through the import map and looked up project-wide (package
+  ``__init__`` re-exports are followed to the defining module);
+* ``unknown`` — everything else (a call on an arbitrary object, a call
+  through a variable).  Unknown callees are counted but contribute no
+  effects: the summaries deliberately under-approximate through them so
+  interprocedural rules never report a finding they cannot witness with
+  a concrete call chain.  The one place conservatism flips the other
+  way is resource ownership (RES002), where passing a resource to an
+  *unknown* callee is treated as an ownership transfer.
+
+Everything extracted here is JSON-serializable (:class:`ModuleInfo`
+round-trips through ``to_dict``/``from_dict``) so the summary cache can
+skip re-extraction of unchanged modules entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.flowrules import (
+    ACQUIRE_METHODS,
+    RELEASE_METHODS,
+)
+from repro.staticcheck.rules import (
+    GLOBAL_RANDOM_CALLS,
+    LinearFanoutRule,
+    UnboundedRetryRule,
+    WALL_CLOCK_CALLS,
+    build_import_map,
+    canonicalize,
+    dotted_name,
+)
+from repro.staticcheck.suppress import valid_suppression_lines
+
+#: Call-site kinds.
+NAME, SELF, DOTTED, UNKNOWN = "name", "self", "dotted", "unknown"
+
+
+def module_name_of(display_path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/kube/api.py`` -> ``repro.kube.api``; paths without a
+    ``src/`` component (fixtures, tmp files) use the file stem so that
+    single-module analyses still get stable qualified names.
+    """
+    parts = display_path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<module>"
+
+
+def iter_functions(tree: ast.Module,
+                   ) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """``(class name or None, function node)`` for every graphed
+    function: module-level defs and depth-1 methods."""
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    yield stmt.name, sub
+
+
+def own_scope(roots: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Walk nodes without descending into nested function/lambda
+    bodies (their effects belong to their own graph nodes)."""
+    stack: List[ast.AST] = list(roots)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def classify_ref(node: ast.AST) -> Tuple[str, str]:
+    """``(kind, text)`` for a callable reference; see the docstring."""
+    if isinstance(node, ast.Name):
+        return NAME, node.id
+    dotted = dotted_name(node)
+    if dotted is None:
+        return UNKNOWN, ""
+    head, _, rest = dotted.partition(".")
+    if head == "self" and rest and "." not in rest:
+        return SELF, rest
+    return DOTTED, dotted
+
+
+def classify_call(call: ast.Call) -> Tuple[str, str]:
+    """``(kind, text)`` for a call site; see the module docstring."""
+    return classify_ref(call.func)
+
+
+@dataclass
+class ModuleRecord:
+    """One module handed to ``build_project``: path, text, parsed AST."""
+
+    display_path: str
+    source: str
+    tree: Optional[ast.Module] = None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic call site inside a function's own scope."""
+
+    kind: str
+    text: str
+    line: int
+
+    def to_list(self) -> list:
+        return [self.kind, self.text, self.line]
+
+    @staticmethod
+    def from_list(data: list) -> "CallSite":
+        return CallSite(data[0], data[1], data[2])
+
+
+@dataclass
+class LocalFn:
+    """One function's local (pre-propagation) effect summary."""
+
+    qname: str
+    name: str
+    cls: str               # "" for module-level functions
+    line: int
+    params: Tuple[str, ...] = ()
+    yields_own: bool = False
+    nondet_own: str = ""   # canonical nondet call, e.g. "time.time"
+    retries_own: bool = False
+    scan_own: str = ""     # scanned collection token, e.g. "_watchers"
+    returns_acquire: str = ""    # acquire call text returned to caller
+    returns_calls: Tuple[CallSite, ...] = ()
+    param_release: Tuple[str, ...] = ()
+    param_escape: Tuple[str, ...] = ()
+    calls: Tuple[CallSite, ...] = ()
+    unknown_calls: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "qname": self.qname, "name": self.name, "cls": self.cls,
+            "line": self.line, "params": list(self.params),
+            "yields_own": self.yields_own,
+            "nondet_own": self.nondet_own,
+            "retries_own": self.retries_own,
+            "scan_own": self.scan_own,
+            "returns_acquire": self.returns_acquire,
+            "returns_calls": [c.to_list() for c in self.returns_calls],
+            "param_release": list(self.param_release),
+            "param_escape": list(self.param_escape),
+            "calls": [c.to_list() for c in self.calls],
+            "unknown_calls": self.unknown_calls,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "LocalFn":
+        return LocalFn(
+            qname=data["qname"], name=data["name"], cls=data["cls"],
+            line=data["line"], params=tuple(data["params"]),
+            yields_own=data["yields_own"],
+            nondet_own=data["nondet_own"],
+            retries_own=data["retries_own"],
+            scan_own=data["scan_own"],
+            returns_acquire=data["returns_acquire"],
+            returns_calls=tuple(CallSite.from_list(c)
+                                for c in data["returns_calls"]),
+            param_release=tuple(data["param_release"]),
+            param_escape=tuple(data["param_escape"]),
+            calls=tuple(CallSite.from_list(c) for c in data["calls"]),
+            unknown_calls=data["unknown_calls"],
+        )
+
+    @property
+    def short(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: Tuple[str, ...] = ()          # dotted base names as written
+    methods: Dict[str, str] = field(default_factory=dict)  # name->qname
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "bases": list(self.bases),
+                "methods": dict(self.methods)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ClassInfo":
+        return ClassInfo(data["name"], tuple(data["bases"]),
+                         dict(data["methods"]))
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the interprocedural pass needs from one module."""
+
+    display_path: str
+    module: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)  # name->qname
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    local_fns: Dict[str, LocalFn] = field(default_factory=dict)
+    mutated_attrs: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "display_path": self.display_path, "module": self.module,
+            "imports": dict(self.imports),
+            "functions": dict(self.functions),
+            "classes": {name: c.to_dict()
+                        for name, c in self.classes.items()},
+            "local_fns": {q: f.to_dict()
+                          for q, f in self.local_fns.items()},
+            "mutated_attrs": list(self.mutated_attrs),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ModuleInfo":
+        return ModuleInfo(
+            display_path=data["display_path"], module=data["module"],
+            imports=dict(data["imports"]),
+            functions=dict(data["functions"]),
+            classes={name: ClassInfo.from_dict(c)
+                     for name, c in data["classes"].items()},
+            local_fns={q: LocalFn.from_dict(f)
+                       for q, f in data["local_fns"].items()},
+            mutated_attrs=tuple(data["mutated_attrs"]),
+        )
+
+
+# -- local effect extraction ------------------------------------------------
+
+
+def _match_nondet(canonical: str, args_empty: bool) -> str:
+    """The canonical nondet source a call matches, or ``""``."""
+    for known in WALL_CLOCK_CALLS:
+        if canonical == known or canonical.endswith("." + known):
+            return known
+    if canonical == "random.Random" and args_empty:
+        return "random.Random"
+    head, _, tail = canonical.partition(".")
+    if head == "random" and tail in GLOBAL_RANDOM_CALLS:
+        return f"random.{tail}"
+    return ""
+
+
+def _acquire_text(value: ast.AST) -> str:
+    """Dotted text of an acquire-vocabulary call, or ``""``."""
+    if isinstance(value, (ast.Yield, ast.YieldFrom)):
+        value = value.value
+    if isinstance(value, ast.Call) and \
+            isinstance(value.func, ast.Attribute) and \
+            value.func.attr in ACQUIRE_METHODS:
+        dotted = dotted_name(value.func)
+        return dotted if dotted is not None else value.func.attr
+    return ""
+
+
+#: Parent node types under which a parameter load is plain *use* (the
+#: callee reads it without taking ownership).  Anything else —
+#: argument position, return/yield value, assignment value, container
+#: element — transfers ownership out of the caller's view.
+_USE_PARENTS = (ast.Attribute, ast.Compare, ast.BoolOp, ast.UnaryOp,
+                ast.Subscript, ast.If, ast.While, ast.Assert)
+
+
+def _param_effects(func: ast.AST, params: Tuple[str, ...],
+                   ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """``(released, escaped)`` parameter names for this function.
+
+    A parameter is *released* when any release-vocabulary method is
+    called on it; *escaped* when it is stored, returned, yielded, or
+    passed on to another call.  A parameter that is neither is use-only:
+    the caller still owns the resource after the call returns.
+    """
+    released: Set[str] = set()
+    escaped: Set[str] = set()
+    tracked = set(params)
+    if not tracked:
+        return (), ()
+    parents: Dict[int, ast.AST] = {}
+    for node in own_scope(func.body):
+        for child in ast.iter_child_nodes(node):
+            parents.setdefault(id(child), node)
+    for node in own_scope(func.body):
+        if not (isinstance(node, ast.Name) and node.id in tracked
+                and isinstance(node.ctx, ast.Load)):
+            continue
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.Attribute):
+            grand = parents.get(id(parent))
+            if isinstance(grand, ast.Call) and grand.func is parent \
+                    and parent.attr in RELEASE_METHODS:
+                released.add(node.id)
+            continue
+        if isinstance(parent, _USE_PARENTS):
+            continue
+        escaped.add(node.id)
+    return tuple(sorted(released)), tuple(sorted(escaped))
+
+
+def _extract_function(module: str, cls: Optional[str], func: ast.AST,
+                      imports: Dict[str, str],
+                      suppressed: Dict[int, Set[str]]) -> LocalFn:
+    qname = f"{module}.{cls}.{func.name}" if cls \
+        else f"{module}.{func.name}"
+    params = tuple(arg.arg for arg in func.args.args)
+    info = LocalFn(qname=qname, name=func.name, cls=cls or "",
+                   line=func.lineno, params=params)
+
+    calls: List[CallSite] = []
+    unknown = 0
+    nondet = ""
+    yields = False
+    scan = ""
+    acquired_locals: Set[str] = set()
+    returns_calls: List[CallSite] = []
+    returns_acquire = ""
+    returning_names: List[Tuple[ast.AST, str]] = []
+
+    for node in own_scope(func.body):
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            yields = True
+        elif isinstance(node, ast.Call):
+            kind, text = classify_call(node)
+            if kind == UNKNOWN:
+                unknown += 1
+            else:
+                calls.append(CallSite(kind, text, node.lineno))
+            dotted = dotted_name(node.func)
+            if dotted is not None and not nondet:
+                lines = suppressed.get(node.lineno, set())
+                if not ({"DET001", "DET002"} & lines):
+                    nondet = _match_nondet(
+                        canonicalize(dotted, imports),
+                        not node.args and not node.keywords)
+        elif isinstance(node, (ast.While, ast.For)):
+            if not info.retries_own and any(
+                    isinstance(sub, ast.ExceptHandler)
+                    and UnboundedRetryRule._handler_sleeps(sub)
+                    for sub in own_scope(node.body)):
+                info.retries_own = True
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            if _acquire_text(node.value):
+                acquired_locals.add(node.targets[0].id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if not returns_acquire:
+                returns_acquire = _acquire_text(value)
+            if isinstance(value, ast.Call):
+                kind, text = classify_call(value)
+                if kind != UNKNOWN:
+                    returns_calls.append(
+                        CallSite(kind, text, node.lineno))
+            elif isinstance(value, ast.Name):
+                returning_names.append((node, value.id))
+
+    # A `w = store.watch(...)` local returned later also transfers a
+    # fresh resource to the caller.
+    if not returns_acquire:
+        for _node, name in returning_names:
+            if name in acquired_locals:
+                returns_acquire = f"<local {name}>"
+                break
+
+    # Linear fanout scans, on any function (PERF001 only looks at
+    # hot-named ones); a PERF001 suppression on the loop line keeps the
+    # scan out of the summary so PERF002 does not re-report it at every
+    # transitive hot-path caller.
+    iter_sites: List[ast.AST] = []
+    for node in own_scope(func.body):
+        if isinstance(node, ast.For):
+            iter_sites.append((node.lineno, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            iter_sites.extend((node.lineno, gen.iter)
+                              for gen in node.generators)
+    for lineno, site in sorted(iter_sites, key=lambda item: item[0]):
+        if "PERF001" in suppressed.get(lineno, set()):
+            continue
+        token = LinearFanoutRule._collection_token(site)
+        if token is not None:
+            scan = token
+            break
+
+    info.yields_own = yields
+    info.nondet_own = nondet
+    info.scan_own = scan
+    info.returns_acquire = returns_acquire
+    info.returns_calls = tuple(returns_calls)
+    info.calls = tuple(sorted(set(calls),
+                              key=lambda c: (c.line, c.kind, c.text)))
+    info.unknown_calls = unknown
+    info.param_release, info.param_escape = _param_effects(func, params)
+    return info
+
+
+def _mutated_attrs(tree: ast.Module) -> Tuple[str, ...]:
+    """Attribute names the module assigns anywhere (CONC001's notion of
+    a *mutable* shared attribute, reused project-wide by CONC002)."""
+    mutated: Set[str] = set()
+    for node in ast.walk(tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                mutated.add(target.attr)
+    return tuple(sorted(mutated))
+
+
+def extract_module(display_path: str, source: str,
+                   tree: ast.Module) -> ModuleInfo:
+    """Build one module's :class:`ModuleInfo` from its parsed AST."""
+    module = module_name_of(display_path)
+    imports = build_import_map(tree)
+    suppressed = valid_suppression_lines(source)
+    info = ModuleInfo(display_path=display_path, module=module,
+                      imports=imports,
+                      mutated_attrs=_mutated_attrs(tree))
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            bases = tuple(b for b in (dotted_name(base)
+                                      for base in stmt.bases)
+                          if b is not None)
+            info.classes[stmt.name] = ClassInfo(stmt.name, bases)
+    for cls, func in iter_functions(tree):
+        local = _extract_function(module, cls, func, imports, suppressed)
+        info.local_fns[local.qname] = local
+        if cls is None:
+            info.functions[func.name] = local.qname
+        else:
+            info.classes[cls].methods[func.name] = local.qname
+    return info
+
+
+# -- the project view -------------------------------------------------------
+
+
+class Project:
+    """All analyzed modules, indexed for cross-module call resolution."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+        #: canonical dotted name -> qname, including re-export aliases.
+        self.by_canonical: Dict[str, str] = {}
+        #: canonical dotted class name -> (module, ClassInfo).
+        self.class_by_canonical: Dict[str, Tuple[ModuleInfo,
+                                                 ClassInfo]] = {}
+        self.locals: Dict[str, LocalFn] = {}
+        mutated: Set[str] = set()
+        for minfo in modules.values():
+            mutated.update(minfo.mutated_attrs)
+            self.locals.update(minfo.local_fns)
+            for name, qname in minfo.functions.items():
+                self.by_canonical[f"{minfo.module}.{name}"] = qname
+            for cname, cinfo in minfo.classes.items():
+                key = f"{minfo.module}.{cname}"
+                self.class_by_canonical[key] = (minfo, cinfo)
+                for mname, qname in cinfo.methods.items():
+                    self.by_canonical[f"{key}.{mname}"] = qname
+        self.mutated_attrs = frozenset(mutated)
+        self._resolve_reexports()
+        #: qname -> Summary; filled in by ``compute_summaries``.
+        self.summaries: Dict[str, object] = {}
+        self.cache_stats = None
+
+    def _resolve_reexports(self) -> None:
+        """Alias ``package.name`` -> defining qname for package
+        ``__init__`` re-exports, chased to a fixpoint."""
+        changed = True
+        passes = 0
+        while changed and passes < 10:
+            changed = False
+            passes += 1
+            for minfo in self.modules.values():
+                for local, canonical in minfo.imports.items():
+                    alias = f"{minfo.module}.{local}"
+                    target = self.by_canonical.get(canonical)
+                    if target is not None and alias not in \
+                            self.by_canonical:
+                        self.by_canonical[alias] = target
+                        changed = True
+                    cls = self.class_by_canonical.get(canonical)
+                    if cls is not None and alias not in \
+                            self.class_by_canonical:
+                        self.class_by_canonical[alias] = cls
+                        changed = True
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, minfo: ModuleInfo, cls: Optional[str],
+                site: CallSite) -> Optional[str]:
+        """The callee qname for a call site, or ``None`` (unknown)."""
+        if site.kind == SELF:
+            if not cls:
+                return None
+            return self._resolve_method(minfo, cls, site.text)
+        if site.kind == NAME:
+            qname = minfo.functions.get(site.text)
+            if qname is not None:
+                return qname
+            canonical = minfo.imports.get(site.text)
+            if canonical is not None:
+                return self.by_canonical.get(canonical)
+            return None
+        if site.kind == DOTTED:
+            canonical = canonicalize(site.text, minfo.imports)
+            qname = self.by_canonical.get(canonical)
+            if qname is not None:
+                return qname
+            # `LocalClass.method(...)` written without an import.
+            return self.by_canonical.get(f"{minfo.module}.{canonical}")
+        return None
+
+    def _resolve_method(self, minfo: ModuleInfo, cls: str,
+                        method: str,
+                        seen: Optional[Set[str]] = None) -> Optional[str]:
+        key = f"{minfo.module}.{cls}"
+        seen = seen if seen is not None else set()
+        if key in seen:
+            return None
+        seen.add(key)
+        entry = self.class_by_canonical.get(key)
+        if entry is None:
+            return None
+        owner, cinfo = entry
+        qname = cinfo.methods.get(method)
+        if qname is not None:
+            return qname
+        for base in cinfo.bases:
+            canonical = canonicalize(base, owner.imports)
+            base_entry = self.class_by_canonical.get(canonical) or \
+                self.class_by_canonical.get(f"{owner.module}.{canonical}")
+            if base_entry is None:
+                continue
+            base_owner, base_info = base_entry
+            found = self._resolve_method(base_owner, base_info.name,
+                                         method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def resolve_ast_call(self, minfo: ModuleInfo, cls: Optional[str],
+                         call: ast.Call) -> Optional[str]:
+        """Resolve a live :class:`ast.Call` node (used by the rules)."""
+        return self.resolve_ref(minfo, cls, call.func)
+
+    def resolve_ref(self, minfo: ModuleInfo, cls: Optional[str],
+                    node: ast.AST) -> Optional[str]:
+        """Resolve a bare callable reference (``helper`` passed as an
+        argument, ``self.op`` handed to a retry wrapper, ...)."""
+        kind, text = classify_ref(node)
+        if kind == UNKNOWN:
+            return None
+        return self.resolve(minfo, cls,
+                            CallSite(kind, text,
+                                     getattr(node, "lineno", 0)))
+
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """``{caller qname: sorted resolved callee qnames}``."""
+        out: Dict[str, Tuple[str, ...]] = {}
+        for minfo in self.modules.values():
+            for qname, local in minfo.local_fns.items():
+                callees: Set[str] = set()
+                for site in local.calls:
+                    target = self.resolve(minfo, local.cls or None, site)
+                    if target is not None and target != qname:
+                        callees.add(target)
+                out[qname] = tuple(sorted(callees))
+        return out

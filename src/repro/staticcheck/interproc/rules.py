@@ -1,0 +1,608 @@
+"""Cross-function rules built on the call graph + effect summaries.
+
+Every rule here reports at a *call site* and prints the witness chain
+from the summary table, so a finding is actionable without re-running
+the analysis: the reader sees exactly which callee chain carries the
+effect.  All five deliberately under-approximate through unknown
+callees (no chain, no finding) — the conservative direction for a
+linter that gates CI — except resource ownership, where an unknown
+callee is assumed to *take* ownership (RES002 stays quiet rather than
+guessing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.cfg import build_cfg, own_expr_roots, walk_own
+from repro.staticcheck.dataflow import ForwardAnalysis, solve_forward
+from repro.staticcheck.flowrules import (
+    RELEASE_METHODS,
+    _ResourceAnalysis,
+    _acquire_call,
+    _assigned_names,
+    _attr_chains_loaded,
+    _name_loads,
+)
+from repro.staticcheck.interproc.callgraph import (
+    ModuleInfo,
+    Project,
+    iter_functions,
+    own_scope,
+)
+from repro.staticcheck.rules import LinearFanoutRule, Rule, dotted_name
+
+#: Marker for a fact that crossed a *literal* yield (CONC001's domain).
+_LITERAL = "<yield>"
+
+
+def _project_of(ctx) -> Tuple[Optional[Project], Optional[ModuleInfo]]:
+    project = getattr(ctx, "project", None)
+    if project is None:
+        return None, None
+    return project, project.modules.get(ctx.display_path)
+
+
+def _short(project: Project, qname: str) -> str:
+    local = project.locals.get(qname)
+    return local.short if local is not None else qname.rsplit(".", 1)[-1]
+
+
+def _pretty_chain(project: Project, chain: Tuple[str, ...],
+                  terminal: str = "") -> str:
+    names = [_short(project, qname) + "()" for qname in chain]
+    if terminal:
+        names.append(terminal)
+    return " -> ".join(names)
+
+
+class InterprocRule(Rule):
+    """A rule that inspects each graphed function with project context."""
+
+    def check(self, ctx) -> List:
+        project, minfo = _project_of(ctx)
+        if project is None or minfo is None:
+            return []
+        findings = []
+        for cls, func in iter_functions(ctx.tree):
+            findings.extend(
+                self.check_function(ctx, project, minfo, cls, func))
+        return findings
+
+    def check_function(self, ctx, project, minfo, cls,
+                       func) -> List:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def _qname_of(minfo: ModuleInfo, cls: Optional[str],
+                  func: ast.AST) -> Optional[str]:
+        if cls is None:
+            return minfo.functions.get(func.name)
+        cinfo = minfo.classes.get(cls)
+        return cinfo.methods.get(func.name) if cinfo else None
+
+
+# -- CONC002: stale read across a call that transitively yields -------------
+
+
+class _CrossCallStaleAnalysis(ForwardAnalysis):
+    """Facts: (var, def index, attr chain, crossed).
+
+    ``crossed`` is ``""`` (nothing yet), the qname of the first
+    transitively-yielding callee crossed, or ``_LITERAL`` once a real
+    yield point is crossed — at which point the fact belongs to CONC001
+    and this rule stays silent about it.
+    """
+
+    def __init__(self, yield_calls: Dict[int, str]):
+        self.yield_calls = yield_calls
+
+    def transfer(self, node, fact):
+        stmt = node.stmt
+        if node.has_yield:
+            fact = frozenset((var, at, chain, _LITERAL)
+                             for var, at, chain, _crossed in fact)
+        elif node.index in self.yield_calls:
+            callee = self.yield_calls[node.index]
+            fact = frozenset(
+                (var, at, chain, crossed if crossed else callee)
+                for var, at, chain, crossed in fact)
+        loads = {name.id for name in _name_loads(stmt)}
+        if loads:
+            fresh = _attr_chains_loaded(stmt)
+            if fresh:
+                fact = frozenset(f for f in fact
+                                 if not (f[0] in loads and f[2] in fresh))
+        assigned = _assigned_names(stmt)
+        if assigned:
+            fact = frozenset(f for f in fact if f[0] not in assigned)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            chain = dotted_name(stmt.value)
+            if chain is not None and "." in chain:
+                fact = fact | {(stmt.targets[0].id, node.index, chain,
+                                "")}
+        return fact
+
+
+class CrossCallStaleReadRule(InterprocRule):
+    """CONC002: CONC001 extended through the call graph.
+
+    A call whose callee *transitively reaches a yield point* can give
+    up control before returning — other processes may run and mutate
+    shared state while the callee blocks.  A local snapshot of a
+    mutable shared attribute taken before such a call and trusted after
+    it is exactly CONC001's stale read, one level of indirection up.
+    Facts that cross a literal yield are CONC001's and are not
+    re-reported here.
+    """
+
+    code = "CONC002"
+
+    def check_function(self, ctx, project, minfo, cls, func) -> List:
+        cfg = build_cfg(func)
+        yield_calls: Dict[int, str] = {}
+        for node in cfg.stmt_nodes():
+            if node.has_yield:
+                continue
+            for sub in walk_own(own_expr_roots(node.stmt)):
+                if not isinstance(sub, ast.Call):
+                    continue
+                qname = project.resolve_ast_call(minfo, cls, sub)
+                if qname is None:
+                    continue
+                summary = project.summaries.get(qname)
+                if summary is not None and summary.yields:
+                    yield_calls[node.index] = qname
+                    break
+        if not yield_calls:
+            return []
+        solution = solve_forward(cfg, _CrossCallStaleAnalysis(yield_calls))
+        findings = []
+        seen: Set[Tuple[int, str]] = set()
+        for node in cfg.stmt_nodes():
+            fact_in, _out = solution[node.index]
+            literal_vars = {var for var, _at, _chain, crossed in fact_in
+                            if crossed == _LITERAL}
+            stale = {var: (chain, crossed)
+                     for var, _at, chain, crossed in fact_in
+                     if crossed and crossed != _LITERAL
+                     and var not in literal_vars}
+            if not stale:
+                continue
+            fresh = _attr_chains_loaded(node.stmt)
+            for name in _name_loads(node.stmt):
+                entry = stale.get(name.id)
+                if entry is None:
+                    continue
+                chain, callee = entry
+                if chain in fresh:
+                    continue
+                if chain.rsplit(".", 1)[-1] not in project.mutated_attrs:
+                    continue
+                key = (node.line, name.id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                summary = project.summaries[callee]
+                witness = _pretty_chain(
+                    project, (callee,) + summary.yields_chain)
+                findings.append(self.finding(
+                    ctx, node.stmt,
+                    f"{name.id!r} holds a snapshot of {chain} taken "
+                    f"before a call that can yield control "
+                    f"({witness}); other processes may have changed "
+                    f"{chain} while the callee blocked — re-read it "
+                    f"after the call returns"))
+        return findings
+
+
+# -- DET004: nondeterminism taint at the sim-facing call site ---------------
+
+
+class TransitiveNondetRule(InterprocRule):
+    """DET004: DET001/DET002 lifted to call sites.
+
+    The direct rules flag the wall-clock read or global-random draw
+    where it happens; this rule flags where the nondeterminism *enters
+    simulation-driven code* — a call, from a function that can yield to
+    the kernel, whose callee transitively reaches such a source.  The
+    message carries the full call chain down to the offending call.
+    Sources whose direct finding was suppressed with a reason are
+    considered replay-safe and do not taint (the summary extractor
+    drops them), so one audited boundary does not cascade findings
+    into every caller.
+    """
+
+    code = "DET004"
+
+    def check_function(self, ctx, project, minfo, cls, func) -> List:
+        qname = self._qname_of(minfo, cls, func)
+        caller = project.summaries.get(qname) if qname else None
+        if caller is None or not caller.yields:
+            return []
+        findings = []
+        seen: Set[Tuple[int, str]] = set()
+        for node in own_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = project.resolve_ast_call(minfo, cls, node)
+            if callee is None:
+                continue
+            summary = project.summaries.get(callee)
+            if summary is None or not summary.nondet:
+                continue
+            key = (node.lineno, callee)
+            if key in seen:
+                continue
+            seen.add(key)
+            witness = _pretty_chain(
+                project, (callee,) + summary.nondet_chain,
+                terminal=f"{summary.nondet}()")
+            findings.append(self.finding(
+                ctx, node,
+                f"this call reaches {summary.nondet}() "
+                f"({witness}), injecting host nondeterminism into a "
+                f"sim-facing function; plumb env.now / an RngRegistry "
+                f"stream through {_short(project, callee)}() instead"))
+        return findings
+
+
+# -- RES002: interprocedural resource leak ----------------------------------
+
+
+class _InterResourceAnalysis(ForwardAnalysis):
+    """Facts: (var, def index, acquire text, via) still owned here.
+
+    Differs from RES001's analysis in exactly two places: a call to a
+    function that *returns* a fresh resource is an acquisition site,
+    and passing the resource to a known callee transfers ownership only
+    if that callee actually releases or keeps it — a use-only callee
+    leaves ownership (and the leak) with the caller.
+    """
+
+    def __init__(self, project: Project, minfo: ModuleInfo,
+                 cls: Optional[str]):
+        self.project = project
+        self.minfo = minfo
+        self.cls = cls
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire_of(self, value: ast.AST) -> Tuple[str, str]:
+        """``(text, via)`` when ``value`` yields a fresh resource."""
+        direct = _acquire_call(value)
+        if direct is not None:
+            return direct, "direct"
+        if isinstance(value, (ast.Yield, ast.YieldFrom)) and \
+                value.value is not None:
+            value = value.value
+        if isinstance(value, ast.Call):
+            qname = self.project.resolve_ast_call(
+                self.minfo, self.cls, value)
+            if qname is not None:
+                summary = self.project.summaries.get(qname)
+                if summary is not None and summary.returns_resource:
+                    return f"{_short(self.project, qname)}", "wrapper"
+        return "", ""
+
+    # -- per-statement disposition ------------------------------------------
+
+    def arg_disposition(self, call: ast.Call, name_node: ast.Name,
+                        keyword: Optional[str]) -> str:
+        """'released' | 'transferred' | 'use' for a resource argument."""
+        qname = self.project.resolve_ast_call(self.minfo, self.cls, call)
+        local = self.project.locals.get(qname) if qname else None
+        if local is None:
+            return "transferred"
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return "transferred"
+        if keyword is None:
+            try:
+                position = next(
+                    i for i, arg in enumerate(call.args)
+                    if arg is name_node)
+            except StopIteration:
+                return "transferred"
+            from repro.staticcheck.interproc.callgraph import (
+                SELF,
+                classify_call,
+            )
+            kind, _text = classify_call(call)
+            offset = 1 if (kind == SELF and local.cls) else 0
+            index = position + offset
+            if index >= len(local.params):
+                return "transferred"
+            param = local.params[index]
+        else:
+            param = keyword
+            if param not in local.params:
+                return "transferred"
+        if param in local.param_release:
+            return "released"
+        if param in local.param_escape:
+            return "transferred"
+        return "use"
+
+    def var_status(self, stmt: ast.AST, var: str) -> Optional[str]:
+        """'released' | 'transferred' | None (still held) for ``var``."""
+        roots = own_expr_roots(stmt)
+        parents: Dict[int, ast.AST] = {}
+        for node in walk_own(roots):
+            for child in ast.iter_child_nodes(node):
+                parents.setdefault(id(child), node)
+        verdicts: Set[str] = set()
+        for node in walk_own(roots):
+            if not (isinstance(node, ast.Name) and node.id == var
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = parents.get(id(node))
+            if isinstance(parent, ast.Attribute):
+                grand = parents.get(id(parent))
+                if isinstance(grand, ast.Call):
+                    if grand.func is parent:
+                        if parent.attr in RELEASE_METHODS:
+                            verdicts.add("released")
+                        continue  # method receiver: use
+                    # w.attr as a call argument: the field (an id, a
+                    # handle) may be registered elsewhere — mirror
+                    # RES001's escape conservatism.
+                    verdicts.add("transferred")
+                    continue
+                if isinstance(grand, ast.keyword):
+                    verdicts.add("transferred")
+                    continue
+                continue  # local attribute read: use
+            if isinstance(parent, (ast.Subscript,)):
+                continue  # indexing into the resource: use
+            if isinstance(parent, ast.Call):
+                verdicts.add(self.arg_disposition(parent, node, None))
+                continue
+            if isinstance(parent, ast.keyword):
+                call = parents.get(id(parent))
+                if isinstance(call, ast.Call):
+                    verdicts.add(
+                        self.arg_disposition(call, node, parent.arg))
+                else:
+                    verdicts.add("transferred")
+                continue
+            if isinstance(parent, (ast.Compare, ast.BoolOp,
+                                   ast.UnaryOp)):
+                continue  # truthiness / identity test: use
+            verdicts.add("transferred")  # returned, yielded, stored, ...
+        if "released" in verdicts:
+            return "released"
+        if "transferred" in verdicts:
+            return "transferred"
+        return None
+
+    def transfer(self, node, fact):
+        stmt = node.stmt
+        live = set(fact)
+        for entry in fact:
+            if self.var_status(stmt, entry[0]) is not None:
+                live.discard(entry)
+        assigned = _assigned_names(stmt)
+        if assigned:
+            live = {f for f in live if f[0] not in assigned}
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            text, via = self.acquire_of(stmt.value)
+            if text:
+                live.add((stmt.targets[0].id, node.index, text, via))
+        return frozenset(live)
+
+
+class InterResourceLeakRule(InterprocRule):
+    """RES002: RES001's ownership tracking, across function boundaries.
+
+    Two interprocedural leak shapes RES001 structurally cannot see:
+
+    * ``w = make_watch(...)`` — the acquire happens inside a wrapper
+      whose summary says it returns a fresh resource; the caller now
+      owns ``w`` and must release it.
+    * ``w = store.watch(...); self._drain(w)`` — RES001 treats passing
+      ``w`` to any call as an ownership transfer; with summaries we
+      know ``_drain`` only *uses* its parameter (never releases or
+      stores it), so ownership — and the leak — stays here.
+
+    Passing a resource to an **unknown** callee still counts as a
+    transfer: without a summary the analysis refuses to guess, which
+    keeps the rule quiet rather than wrong.  Leaks RES001 already
+    reports are not duplicated.
+    """
+
+    code = "RES002"
+
+    def check_function(self, ctx, project, minfo, cls, func) -> List:
+        analysis = _InterResourceAnalysis(project, minfo, cls)
+        has_acquire = any(
+            isinstance(stmt, ast.Assign)
+            and analysis.acquire_of(stmt.value)[0]
+            for stmt in ast.walk(func) if isinstance(stmt, ast.Assign))
+        if not has_acquire:
+            return []
+        cfg = build_cfg(func)
+        extended_leaks, _out = solve_forward(cfg, analysis)[cfg.exit]
+        if not extended_leaks:
+            return []
+        baseline, _out = solve_forward(cfg, _ResourceAnalysis())[cfg.exit]
+        already = {(var, at) for var, at, _text in baseline}
+        findings = []
+        for var, at, text, via in sorted(
+                extended_leaks,
+                key=lambda f: (cfg.node(f[1]).line, f[0])):
+            if (var, at) in already:
+                continue  # RES001 reports this one
+            if via == "wrapper":
+                message = (
+                    f"{var!r} holds a fresh resource returned by "
+                    f"{text}() and is not released on every path out "
+                    f"of this function; the wrapper transferred "
+                    f"ownership here — cancel/close it in a try/finally")
+            else:
+                users = self._use_only_callees(
+                    project, minfo, cls, func, var, analysis)
+                through = f" {users} only uses it without releasing " \
+                    f"or keeping it, so" if users else ""
+                message = (
+                    f"{var!r} acquired via {text}() leaks through a "
+                    f"callee:{through} ownership stays in this "
+                    f"function and no path releases it; release it in "
+                    f"a try/finally")
+            findings.append(self.finding(ctx, cfg.node(at).stmt, message))
+        return findings
+
+    @staticmethod
+    def _use_only_callees(project, minfo, cls, func, var,
+                          analysis) -> str:
+        names = []
+        for node in own_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == var and \
+                        analysis.arg_disposition(node, arg, None) == \
+                        "use":
+                    qname = project.resolve_ast_call(minfo, cls, node)
+                    if qname:
+                        names.append(_short(project, qname) + "()")
+        return " and ".join(sorted(set(names)))
+
+
+# -- SAF005: nested retry policies across the call chain --------------------
+
+
+class NestedRetryRule(InterprocRule):
+    """SAF005: exactly one layer of the stack may retry.
+
+    When a retry loop invokes an operation that itself retries
+    (directly, or anywhere down its call chain), the attempt counts
+    multiply — an outer 4x around an inner 4x is 16 attempts — and the
+    exponential backoffs compound into multi-minute stalls that no
+    single policy describes.  Flagged at the outer call site: either a
+    call to a transitively-retrying function from inside a retry loop,
+    or a retrying operation passed as an argument into a retrying
+    wrapper (``retry_call(env, stream, op, ...)`` where ``op`` retries).
+    """
+
+    code = "SAF005"
+
+    @staticmethod
+    def _retry_loops(func: ast.AST) -> List[ast.AST]:
+        from repro.staticcheck.rules import UnboundedRetryRule
+
+        return [node for node in own_scope(func.body)
+                if isinstance(node, (ast.While, ast.For))
+                and any(isinstance(sub, ast.ExceptHandler)
+                        and UnboundedRetryRule._handler_sleeps(sub)
+                        for sub in own_scope(node.body))]
+
+    def check_function(self, ctx, project, minfo, cls, func) -> List:
+        findings = []
+        seen: Set[Tuple[int, str]] = set()
+
+        def report(node, callee, summary, how):
+            key = (node.lineno, callee)
+            if key in seen:
+                return
+            seen.add(key)
+            witness = _pretty_chain(
+                project, (callee,) + summary.retries_chain) \
+                if summary.retries_chain else "its own retry loop"
+            findings.append(self.finding(
+                ctx, node,
+                f"nested retry policies: {_short(project, callee)}() "
+                f"{how} but already retries internally ({witness}), "
+                f"so attempt counts multiply and backoff compounds — "
+                f"retry at exactly one layer"))
+
+        for loop in self._retry_loops(func):
+            for node in own_scope(loop.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_ast_call(minfo, cls, node)
+                summary = project.summaries.get(callee) if callee \
+                    else None
+                if summary is not None and summary.retries:
+                    report(node, callee, summary,
+                           "is called from this retry loop")
+
+        for node in own_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            wrapper = project.resolve_ast_call(minfo, cls, node)
+            wrapper_summary = project.summaries.get(wrapper) if wrapper \
+                else None
+            if wrapper_summary is None or not wrapper_summary.retries:
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                if not isinstance(arg, (ast.Name, ast.Attribute)):
+                    continue
+                ref = project.resolve_ref(minfo, cls, arg)
+                ref_summary = project.summaries.get(ref) if ref else None
+                if ref_summary is not None and ref_summary.retries:
+                    report(node, ref, ref_summary,
+                           f"is passed into retrying "
+                           f"{_short(project, wrapper)}()")
+        return findings
+
+
+# -- PERF002: linear fanout scan reachable from a hot path ------------------
+
+
+class TransitiveFanoutScanRule(InterprocRule):
+    """PERF002: PERF001 lifted through the call graph.
+
+    A notify/emit/publish hot path runs once per mutation; PERF001
+    catches a linear subscriber scan written directly in it, but a
+    helper that does the scanning on the hot path's behalf costs
+    exactly the same per notification.  Flagged at the hot-path call
+    site with the chain down to the scanning function.  A PERF001
+    suppression on the scan itself (an exact-fanout collection)
+    removes it from the summaries, so an audited scan does not
+    re-surface at every transitive caller.
+    """
+
+    code = "PERF002"
+
+    def check_function(self, ctx, project, minfo, cls, func) -> List:
+        if not LinearFanoutRule._is_hot_path(func.name):
+            return []
+        findings = []
+        seen: Set[Tuple[int, str]] = set()
+        for node in own_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = project.resolve_ast_call(minfo, cls, node)
+            if callee is None:
+                continue
+            summary = project.summaries.get(callee)
+            if summary is None or not summary.scan:
+                continue
+            key = (node.lineno, callee)
+            if key in seen:
+                continue
+            seen.add(key)
+            witness = _pretty_chain(project,
+                                    (callee,) + summary.scan_chain)
+            findings.append(self.finding(
+                ctx, node,
+                f"fanout hot path {func.name}() reaches a linear scan "
+                f"over {summary.scan!r} through {witness}; every "
+                f"notification pays O(all subscribers) there — index "
+                f"subscribers by match key (or suppress at the scan "
+                f"with a reason if the fanout is exact)"))
+        return findings
+
+
+#: Interprocedural rules, in catalog order.
+INTERPROC_RULES = (
+    CrossCallStaleReadRule(),
+    TransitiveNondetRule(),
+    InterResourceLeakRule(),
+    NestedRetryRule(),
+    TransitiveFanoutScanRule(),
+)

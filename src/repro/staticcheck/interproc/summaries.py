@@ -1,0 +1,203 @@
+"""Bottom-up effect summaries over the project call graph.
+
+Each function gets one :class:`Summary` with five effect facets:
+
+* ``yields`` — the function can give up control to the kernel: it
+  contains a yield point itself, or (transitively) calls a function
+  that does.  This is the preemption notion CONC002 extends CONC001
+  with.
+* ``nondet`` — the function (transitively) reaches a wall-clock read or
+  a global-``random`` draw *outside* ``RngRegistry``.  Sources whose
+  DET001/DET002 finding carries a reasoned suppression are declared
+  replay-safe at the source and do not taint callers.
+* ``retries`` — the function participates in a retry loop: it contains
+  a loop whose exception handler backs off (``yield env.timeout``), or
+  calls a function that does (``retry_call`` and every wrapper above
+  it).
+* ``scan`` — the function (transitively) performs a linear scan over a
+  watcher/listener/subscriber collection; PERF001-suppressed scans are
+  excluded at the source.
+* ``returns_resource`` — the function hands a freshly acquired
+  watch/lease/claim to its caller (directly, or through a chain of
+  ``return wrapper()`` calls), so its call sites are acquisition sites
+  for RES002.
+
+Summaries are computed bottom-up over the condensation of the call
+graph: Tarjan's algorithm emits strongly connected components in
+reverse topological order (callees before callers), single-node SCCs
+get one monotone merge pass, and cyclic SCCs (recursion, mutual
+recursion) iterate to a fixpoint — all facets are monotone booleans or
+set-once strings, so the iteration terminates.  Every propagated facet
+carries a witness *chain* of callee qnames ending at the function that
+owns the effect, which the rules print so a finding at a call site is
+explainable without re-running the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.staticcheck.interproc.callgraph import Project
+
+#: Witness chains longer than this are truncated (recursion cycles).
+MAX_CHAIN = 12
+
+
+@dataclass
+class Summary:
+    """One function's propagated effect summary."""
+
+    qname: str
+    yields: bool = False
+    yields_chain: Tuple[str, ...] = ()
+    nondet: str = ""
+    nondet_chain: Tuple[str, ...] = ()
+    retries: bool = False
+    retries_chain: Tuple[str, ...] = ()
+    scan: str = ""
+    scan_chain: Tuple[str, ...] = ()
+    returns_resource: str = ""
+    unknown_calls: int = 0
+    callees: Tuple[str, ...] = field(default=())
+
+
+def _tarjan_sccs(edges: Dict[str, Tuple[str, ...]]) -> List[List[str]]:
+    """SCCs in reverse topological order (callees before callers),
+    computed iteratively so deep call chains cannot hit the interpreter
+    recursion limit."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work.pop()
+            if child_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            children = [c for c in edges.get(node, ()) if c in edges]
+            advanced = False
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                scc: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def _merge(mine: Summary, callee: Summary) -> bool:
+    """Fold ``callee``'s effects into ``mine``; True when changed."""
+    changed = False
+    if callee.yields and not mine.yields:
+        mine.yields = True
+        mine.yields_chain = ((callee.qname,)
+                             + callee.yields_chain)[:MAX_CHAIN]
+        changed = True
+    if callee.nondet and not mine.nondet:
+        mine.nondet = callee.nondet
+        mine.nondet_chain = ((callee.qname,)
+                             + callee.nondet_chain)[:MAX_CHAIN]
+        changed = True
+    if callee.retries and not mine.retries:
+        mine.retries = True
+        mine.retries_chain = ((callee.qname,)
+                              + callee.retries_chain)[:MAX_CHAIN]
+        changed = True
+    if callee.scan and not mine.scan:
+        mine.scan = callee.scan
+        mine.scan_chain = ((callee.qname,)
+                           + callee.scan_chain)[:MAX_CHAIN]
+        changed = True
+    return changed
+
+
+def compute_summaries(project: Project) -> Dict[str, Summary]:
+    """The propagated summary table for every graphed function."""
+    edges = project.edges()
+
+    # Unknown callees = syntactically opaque calls plus classified call
+    # sites that resolve to nothing in the project.
+    unresolved: Dict[str, int] = {}
+    for minfo in project.modules.values():
+        for qname, local in minfo.local_fns.items():
+            misses = sum(
+                1 for site in local.calls
+                if project.resolve(minfo, local.cls or None, site)
+                is None)
+            unresolved[qname] = local.unknown_calls + misses
+
+    summaries: Dict[str, Summary] = {}
+    for qname, local in project.locals.items():
+        summaries[qname] = Summary(
+            qname=qname,
+            yields=local.yields_own,
+            nondet=local.nondet_own,
+            retries=local.retries_own,
+            scan=local.scan_own,
+            returns_resource=local.returns_acquire,
+            unknown_calls=unresolved.get(qname, local.unknown_calls),
+            callees=edges.get(qname, ()),
+        )
+
+    # Map each function's returned-call descriptors to qnames once.
+    returns_calls: Dict[str, Tuple[str, ...]] = {}
+    for minfo in project.modules.values():
+        for qname, local in minfo.local_fns.items():
+            resolved = []
+            for site in local.returns_calls:
+                target = project.resolve(minfo, local.cls or None, site)
+                if target is not None and target != qname:
+                    resolved.append(target)
+            if resolved:
+                returns_calls[qname] = tuple(sorted(set(resolved)))
+
+    for scc in _tarjan_sccs(edges):
+        members = set(scc)
+        changed = True
+        while changed:
+            changed = False
+            for qname in scc:
+                mine = summaries[qname]
+                for callee in summaries[qname].callees:
+                    if _merge(mine, summaries[callee]):
+                        changed = True
+                if not mine.returns_resource:
+                    for callee in returns_calls.get(qname, ()):
+                        via = summaries[callee].returns_resource
+                        if via:
+                            mine.returns_resource = via
+                            changed = True
+                            break
+            # Acyclic (single, non-self-looping) SCCs need one pass.
+            if len(members) == 1 and \
+                    scc[0] not in edges.get(scc[0], ()):
+                break
+    project.summaries = summaries
+    return summaries

@@ -1,0 +1,49 @@
+"""Per-line suppression comments, shared by the engine and interproc.
+
+Syntax (one per line, reason mandatory)::
+
+    risky()  # staticcheck: ignore[DET001] replay-safe because ...
+    bad()    # staticcheck: ignore[DET001,SAF001] shared fixture shim
+
+A suppression with no reason is inert *and* reported as ``SUP001`` — an
+unexplained suppression is exactly the kind of silent drift this tool
+exists to prevent.  The interprocedural summary extractor also consults
+valid suppressions: a wall-clock call whose DET001 finding carries a
+reasoned suppression is declared replay-safe and must not taint its
+callers (see :mod:`repro.staticcheck.interproc.summaries`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: Set[str]
+    reason: str
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    suppressions = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip().upper()
+                 for code in match.group(1).split(",") if code.strip()}
+        suppressions.append(
+            Suppression(lineno, codes, match.group(2).strip()))
+    return suppressions
+
+
+def valid_suppression_lines(source: str) -> Dict[int, Set[str]]:
+    """``{line: codes}`` for suppressions that carry a reason."""
+    return {s.line: s.codes for s in parse_suppressions(source)
+            if s.reason}

@@ -1,0 +1,43 @@
+# staticcheck: fixture
+"""CONC002 compliant patterns: re-read after the yielding call, snapshot
+only across non-yielding callees, or no shared-attribute snapshot at all.
+"""
+
+
+class Replicator:
+    def __init__(self, env):
+        self.env = env
+        self.leader = None
+        self.epoch = 0
+
+    def elect(self, node):
+        self.leader = node
+        self.epoch += 1
+
+    def _replicate(self, entry):
+        yield self.env.timeout(1.0)
+        return entry
+
+    def _count(self, entry):
+        return 1 if entry else 0
+
+    def commit_reread(self, entry, ack):
+        self._replicate(entry)
+        leader = self.leader  # fresh read after the yielding call
+        leader.send(ack)
+
+    def commit_revalidated(self, entry, ack):
+        leader = self.leader
+        self._replicate(entry)
+        if leader is self.leader:  # re-validated against a fresh read
+            leader.send(ack)
+
+    def snapshot_across_pure_call(self, entry, ack):
+        leader = self.leader
+        self._count(entry)  # callee never yields: no preemption
+        leader.send(ack)
+
+    def used_before_call(self, entry, ack):
+        leader = self.leader
+        leader.send(ack)  # snapshot consumed before any yielding call
+        self._replicate(entry)

@@ -1,0 +1,38 @@
+# staticcheck: fixture
+"""CONC002 true positives: stale snapshots across transitively-yielding
+calls.  The callee, not the caller, contains the yield point — CONC001
+cannot see these."""
+
+
+class Replicator:
+    def __init__(self, env):
+        self.env = env
+        self.leader = None
+        self.epoch = 0
+
+    def elect(self, node):
+        self.leader = node
+        self.epoch += 1
+
+    def _replicate(self, entry):
+        yield self.env.timeout(1.0)
+        return entry
+
+    def _flush(self):
+        self._replicate(None)
+
+    def commit(self, entry, ack):
+        leader = self.leader
+        self._replicate(entry)
+        leader.send(ack)  # <- CONC002
+
+    def commit_deep(self, entry, ack):
+        # The yield is two hops down: commit_deep -> _flush -> _replicate.
+        leader = self.leader
+        self._flush()
+        leader.send(ack)  # <- CONC002
+
+    def stamp(self, entry):
+        epoch = self.epoch
+        self._replicate(entry)
+        return epoch + 1  # <- CONC002

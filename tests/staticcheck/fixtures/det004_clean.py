@@ -1,0 +1,45 @@
+# staticcheck: fixture
+"""DET004 compliant patterns: sim-facing code draws time and randomness
+from the simulation (env.now, RngRegistry streams), and a reasoned
+DET001 suppression at an audited source stops the taint from cascading
+into callers."""
+
+import time
+
+
+def _sim_stamp(env):
+    return env.now
+
+
+def _sim_jitter(stream):
+    return stream.uniform(0.0, 1.0)
+
+
+def _trace_wall_clock():
+    # Audited boundary: the value is written to a host-side trace file
+    # only and never reaches the event queue, so it is replay-safe.
+    return time.time()  # staticcheck: ignore[DET001] trace-only value, never feeds the sim
+
+
+class Prober:
+    def __init__(self, env, rng):
+        self.env = env
+        self.rng = rng
+
+    def run_probe(self, target):
+        started = _sim_stamp(self.env)
+        yield self.env.timeout(1.0)
+        return (target, started)
+
+    def run_backoff(self, attempts):
+        stream = self.rng.stream("probe:backoff")
+        for _attempt in range(attempts):
+            delay = _sim_jitter(stream)
+            yield self.env.timeout(delay)
+
+    def run_traced(self, target):
+        # _trace_wall_clock's source is suppressed with a reason, so it
+        # does not taint this sim-facing caller.
+        _trace_wall_clock()
+        yield self.env.timeout(1.0)
+        return target

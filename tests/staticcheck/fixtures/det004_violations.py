@@ -1,0 +1,36 @@
+# staticcheck: fixture
+"""DET004 true positives: a sim-facing (yielding) function reaches a
+nondeterministic source through its callees.  The source lines also
+carry their direct DET001/DET002 findings — DET004 adds the call-site
+view with the chain."""
+
+import random
+import time
+
+
+def _read_clock():
+    return time.time()  # <- DET001
+
+
+def _jitter():
+    return random.uniform(0.0, 1.0)  # <- DET002
+
+
+def _stamp():
+    # Two hops: run_probe -> _stamp -> _read_clock.
+    return _read_clock()
+
+
+class Prober:
+    def __init__(self, env):
+        self.env = env
+
+    def run_probe(self, target):
+        started = _stamp()  # <- DET004
+        yield self.env.timeout(1.0)
+        return (target, started)
+
+    def run_backoff(self, attempts):
+        for _attempt in range(attempts):
+            delay = _jitter()  # <- DET004
+            yield self.env.timeout(delay)

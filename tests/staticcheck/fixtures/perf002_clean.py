@@ -1,0 +1,35 @@
+# staticcheck: fixture
+"""PERF002 compliant patterns: hot paths reach subscribers through an
+index, and cold-path scans (or audited exact-fanout scans) do not
+contaminate their callers."""
+
+
+class Hub:
+    def __init__(self):
+        self._watchers = []
+        self._index = {}
+
+    def _deliver_indexed(self, event):
+        # O(matching) via the key index: nothing to flag.
+        for watcher in self._index.get(event.key, ()):
+            watcher.deliver(event)
+
+    def _sweep_dead(self):
+        # Cold maintenance scan; only reachable from cold callers.
+        self._watchers = [w for w in self._watchers if not w.closed]
+
+    def _deliver_everyone(self, event):
+        # Exact fanout, audited: every watcher must see every event.
+        for watcher in self._watchers:  # staticcheck: ignore[PERF001] config-reload events address every watcher by design
+            watcher.deliver(event)
+
+    def notify(self, event):
+        self._deliver_indexed(event)
+
+    def notify_reload(self, event):
+        # The callee's scan carries a reasoned PERF001 suppression, so
+        # it is excluded from the summaries and does not resurface here.
+        self._deliver_everyone(event)
+
+    def compact(self):
+        self._sweep_dead()

@@ -1,0 +1,25 @@
+# staticcheck: fixture
+"""PERF002 true positives: the subscriber scan lives in a helper, so
+PERF001's local view of the hot path sees nothing — the notify path
+still pays O(all subscribers) per event."""
+
+
+class Hub:
+    def __init__(self):
+        self._watchers = []
+
+    def _deliver_all(self, event):
+        # Not hot-named, so PERF001 ignores this scan.
+        for watcher in self._watchers:
+            if watcher.matches(event.key):
+                watcher.deliver(event)
+
+    def _matching(self, key):
+        return [w for w in self._watchers if w.matches(key)]
+
+    def notify(self, event):
+        self._deliver_all(event)  # <- PERF002
+
+    def emit_matches(self, event):
+        for watcher in self._matching(event.key):  # <- PERF002
+            watcher.deliver(event)

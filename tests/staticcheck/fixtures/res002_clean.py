@@ -1,0 +1,49 @@
+# staticcheck: fixture
+"""RES002 compliant patterns: wrapper-acquired resources released on
+every path, ownership genuinely transferred to a releasing or storing
+callee, or handed back to the caller."""
+
+
+def make_watch(store, prefix):
+    return store.watch_prefix(prefix)
+
+
+def finish(watch):
+    # Releasing callee: takes ownership and cancels the watch.
+    watch.cancel()
+
+
+class Controller:
+    def __init__(self, store):
+        self.store = store
+        self.watches = []
+        self.seen = []
+
+    def _adopt(self, watch):
+        # Storing callee: ownership moves into self.watches.
+        self.watches.append(watch)
+
+    def released_in_finally(self, prefix):
+        w = make_watch(self.store, prefix)
+        try:
+            self.seen.append(w.pending)
+        finally:
+            w.cancel()
+
+    def transferred_to_releasing_callee(self, prefix):
+        w = make_watch(self.store, prefix)
+        finish(w)
+
+    def transferred_to_storing_callee(self, prefix):
+        w = self.store.watch_prefix(prefix)
+        self._adopt(w)
+
+    def returned_to_caller(self, prefix):
+        # The caller now owns the watch (and its call site is an
+        # acquisition site via the returns-resource summary).
+        return make_watch(self.store, prefix)
+
+    def handed_to_unknown_callee(self, prefix, sink):
+        # No summary for sink.consume: assume it takes ownership.
+        w = self.store.watch_prefix(prefix)
+        sink.consume(w)

@@ -1,0 +1,44 @@
+# staticcheck: fixture
+"""RES002 true positives: ownership crosses a call boundary and leaks.
+
+RES001 cannot see either shape: the wrapper acquisition happens in the
+callee, and passing a resource to a call looks like an ownership
+transfer to RES001's local view."""
+
+
+def make_watch(store, prefix):
+    return store.watch_prefix(prefix)
+
+
+def make_watch_deep(store, prefix):
+    # Ownership flows through two wrappers before reaching the caller.
+    return make_watch(store, prefix)
+
+
+class Controller:
+    def __init__(self, store):
+        self.store = store
+        self.seen = []
+        self.hits = 0
+
+    def _drain(self, watch):
+        # Use-only: reads the watch, never releases or stores it.
+        for event in watch.pending:
+            self.seen.append(event)
+
+    def leak_from_wrapper(self, prefix):
+        w = make_watch(self.store, prefix)  # <- RES002
+        if w.pending:
+            self.hits += 1
+        return self.hits
+
+    def leak_from_deep_wrapper(self, prefix):
+        # Only a field escapes; the caller never gets the handle and
+        # can never cancel it.
+        w = make_watch_deep(self.store, prefix)  # <- RES002
+        return w.pending
+
+    def leak_through_use_only_callee(self, prefix):
+        w = self.store.watch_prefix(prefix)  # <- RES002
+        self._drain(w)
+        return len(self.seen)

@@ -1,0 +1,50 @@
+# staticcheck: fixture
+"""SAF005 compliant patterns: exactly one retry layer per call chain."""
+
+
+class StoreError(Exception):
+    pass
+
+
+def fetch_once(store, key):
+    return store.get(key)
+
+
+def fetch_with_retry(env, store, key):
+    for attempt in range(4):
+        try:
+            return store.get(key)
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+    raise StoreError(key)
+
+
+def retry_op(env, make_attempt, attempts):
+    for attempt in range(attempts):
+        try:
+            return make_attempt()
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+    raise StoreError("retry_op")
+
+
+def retry_around_plain_op(env, store, key):
+    # The only retry layer is this loop; the callee does one attempt.
+    for attempt in range(4):
+        try:
+            return fetch_once(store, key)
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+
+
+def wrapper_around_plain_op(env, store, key):
+    # The only retry layer is inside retry_op; fetch_once is one shot.
+    value = yield from retry_op(env, fetch_once, 3)
+    return (key, value)
+
+
+def delegate_to_single_layer(env, store, key):
+    # Calling a retrying operation outside any retry loop is the
+    # recommended shape: one policy, owned by the callee.
+    value = yield from fetch_with_retry(env, store, key)
+    return value

@@ -1,0 +1,59 @@
+# staticcheck: fixture
+"""SAF005 true positives: retry policies stacked across call layers.
+
+Each layer is individually well-behaved (bounded attempts, backoff
+sleep), so SAF003 stays quiet — the hazard only exists in the
+composition."""
+
+
+class StoreError(Exception):
+    pass
+
+
+def fetch_with_retry(env, store, key):
+    # Inner policy: bounded, backs off — fine on its own.
+    for attempt in range(4):
+        try:
+            return store.get(key)
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+    raise StoreError(key)
+
+
+def retry_op(env, make_attempt, attempts):
+    # Generic retrying wrapper around a zero-argument operation.
+    for attempt in range(attempts):
+        try:
+            return make_attempt()
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+    raise StoreError("retry_op")
+
+
+def double_retry(env, store, key):
+    # Outer policy around an operation that already retries: 4x4
+    # attempts, compounded backoff.
+    for attempt in range(4):
+        try:
+            result = yield from fetch_with_retry(env, store, key)  # <- SAF005
+            return result
+        except StoreError:
+            yield env.timeout(2.0 ** attempt)
+
+
+class Syncer:
+    def __init__(self, env, store):
+        self.env = env
+        self.store = store
+
+    def _pull(self, key):
+        for attempt in range(3):
+            try:
+                return self.store.get(key)
+            except StoreError:
+                yield self.env.timeout(1.0 + attempt)
+
+    def sync(self, key):
+        # A retrying operation handed to a retrying wrapper.
+        value = yield from retry_op(self.env, fetch_with_retry, 3)  # <- SAF005
+        return (key, value)

@@ -1,0 +1,181 @@
+"""Unit coverage for the project call-graph builder and summary cache.
+
+Exercises the resolution ladder (same-module, imported, re-exported,
+``self.`` with base-class walk), the unknown-callee conservatism, and
+content-hash cache invalidation semantics.
+"""
+
+import json
+
+from repro.staticcheck.interproc import build_project
+from repro.staticcheck.interproc.cache import CACHE_VERSION, SummaryCache
+from repro.staticcheck.interproc.callgraph import (
+    ModuleRecord,
+    module_name_of,
+)
+
+
+def project_of(modules):
+    """Build a project from ``{display_path: source}``."""
+    records = [ModuleRecord(path, source)
+               for path, source in modules.items()]
+    return build_project(records)
+
+
+def test_module_name_of_strips_src_and_init():
+    assert module_name_of("src/repro/kube/api.py") == "repro.kube.api"
+    assert module_name_of("src/repro/etcd/__init__.py") == "repro.etcd"
+    assert module_name_of("scratch.py") == "scratch"
+
+
+def test_direct_and_method_edges():
+    project = project_of({
+        "src/repro/one.py": """
+def helper():
+    return 1
+
+def caller():
+    return helper()
+
+class Box:
+    def get(self):
+        return helper()
+
+    def get_twice(self):
+        return self.get() + self.get()
+"""})
+    edges = project.edges()
+    assert edges["repro.one.caller"] == ("repro.one.helper",)
+    assert edges["repro.one.Box.get"] == ("repro.one.helper",)
+    assert edges["repro.one.Box.get_twice"] == ("repro.one.Box.get",)
+
+
+def test_cross_module_and_reexport_resolution():
+    project = project_of({
+        "src/repro/pkg/__init__.py": """
+from repro.pkg.impl import work
+""",
+        "src/repro/pkg/impl.py": """
+def work():
+    return 1
+""",
+        "src/repro/user.py": """
+from repro.pkg import work
+import repro.pkg.impl
+
+def via_reexport():
+    return work()
+
+def via_module():
+    return repro.pkg.impl.work()
+"""})
+    edges = project.edges()
+    assert edges["repro.user.via_reexport"] == ("repro.pkg.impl.work",)
+    assert edges["repro.user.via_module"] == ("repro.pkg.impl.work",)
+
+
+def test_self_call_resolves_through_imported_base_class():
+    project = project_of({
+        "src/repro/base.py": """
+class Base:
+    def ping(self):
+        return 1
+""",
+        "src/repro/child.py": """
+from repro.base import Base
+
+class Child(Base):
+    def run(self):
+        return self.ping()
+"""})
+    edges = project.edges()
+    assert edges["repro.child.Child.run"] == ("repro.base.Base.ping",)
+
+
+def test_unknown_callees_are_counted_not_guessed():
+    project = project_of({
+        "src/repro/one.py": """
+def caller(client):
+    client.fetch()
+    (lambda: 1)()
+    return 0
+"""})
+    assert project.edges()["repro.one.caller"] == ()
+    assert project.locals["repro.one.caller"].unknown_calls >= 1
+
+
+def test_method_resolution_survives_base_class_cycles():
+    project = project_of({
+        "src/repro/loop.py": """
+class A(B):
+    def from_a(self):
+        return self.missing()
+
+class B(A):
+    def from_b(self):
+        return self.from_a()
+"""})
+    edges = project.edges()
+    assert edges["repro.loop.A.from_a"] == ()
+    assert edges["repro.loop.B.from_b"] == ("repro.loop.A.from_a",)
+
+
+def test_cache_cold_warm_and_selective_invalidation(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    sources = {
+        "src/repro/a.py": "def a():\n    return 1\n",
+        "src/repro/b.py": "def b():\n    return 2\n",
+    }
+
+    def run():
+        return build_project(
+            [ModuleRecord(path, text)
+             for path, text in sorted(sources.items())],
+            cache_path)
+
+    cold = run()
+    assert cold.cache_stats.recomputed == 2
+    assert cold.cache_stats.reused == 0
+
+    warm = run()
+    assert warm.cache_stats.recomputed == 0
+    assert warm.cache_stats.reused == 2
+
+    sources["src/repro/b.py"] = "def b():\n    return 3\n"
+    edited = run()
+    assert edited.cache_stats.recomputed == 1
+    assert edited.cache_stats.reused == 1
+
+
+def test_cache_version_bump_invalidates_everything(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    record = ModuleRecord("src/repro/a.py", "def a():\n    return 1\n")
+    build_project([record], cache_path)
+
+    payload = json.loads(cache_path.read_text())
+    assert payload["version"] == CACHE_VERSION
+    payload["version"] = CACHE_VERSION - 1
+    cache_path.write_text(json.dumps(payload))
+
+    project = build_project([record], cache_path)
+    assert project.cache_stats.recomputed == 1
+    assert project.cache_stats.reused == 0
+
+
+def test_cache_tolerates_corrupt_file(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json")
+    cache = SummaryCache(cache_path)
+    assert cache.lookup("src/repro/a.py", "def a(): pass\n") is None
+
+
+def test_cache_drops_entries_for_deleted_modules(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    records = [
+        ModuleRecord("src/repro/a.py", "def a():\n    return 1\n"),
+        ModuleRecord("src/repro/b.py", "def b():\n    return 2\n"),
+    ]
+    build_project(records, cache_path)
+    build_project(records[:1], cache_path)
+    payload = json.loads(cache_path.read_text())
+    assert sorted(payload["modules"]) == ["src/repro/a.py"]

@@ -80,12 +80,84 @@ VIOLATIONS = {
             for w in watchers:
                 w.deliver(event)
     """,
+    "CONC002": """
+        class Registry:
+            def elect(self, node):
+                self.leader = node
+
+            def replicate(self, env):
+                yield env.timeout(1.0)
+
+            def run(self, env, message):
+                leader = self.leader
+                self.replicate(env)
+                leader.send(message)
+    """,
+    "DET004": """
+        import time
+
+        def stamp():
+            return time.time()
+
+        def proc(env):
+            started = stamp()
+            yield env.timeout(1)
+            return started
+    """,
+    "RES002": """
+        def consume(watch):
+            for event in watch.pending:
+                print(event)
+
+        def f(store):
+            w = store.watch("k")
+            consume(w)
+    """,
+    "SAF005": """
+        def inner(env, client):
+            for attempt in range(3):
+                try:
+                    return client.get()
+                except OSError:
+                    yield env.timeout(1.0)
+
+        def outer(env, client):
+            for attempt in range(3):
+                try:
+                    return (yield from inner(env, client))
+                except OSError:
+                    yield env.timeout(1.0)
+    """,
+    "PERF002": """
+        class Hub:
+            def __init__(self):
+                self._watchers = []
+
+            def deliver(self, event):
+                for w in self._watchers:
+                    if w.matches(event.key):
+                        w.deliver(event)
+
+            def notify(self, event):
+                self.deliver(event)
+    """,
 }
 
 
 def test_repo_tree_has_zero_unsuppressed_findings():
     findings, _suppressed = analyze_tree()
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_interproc_snapshot_fixes_stay_fixed():
+    # Regression guard for the CONC002 findings the interprocedural
+    # rules surfaced on the real tree: ChaosEngine.run's `scenario`
+    # snapshot and cfg._Builder.build_stmt's `cfg` snapshot were
+    # replaced with direct attribute reads.  If either snapshot pattern
+    # comes back, the cross-call stale-read rule must flag it again.
+    findings, _suppressed = analyze_tree()
+    stale = [f for f in findings if f.code in ("CONC001", "CONC002")]
+    assert stale == [], "\n".join(f.render() for f in stale)
 
 
 def test_repo_suppressions_all_carry_reasons():
@@ -154,6 +226,68 @@ def test_cli_github_green_run_emits_no_annotations(capsys):
     assert "::error" not in out
 
 
+def test_cli_sarif_report(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["DET004"]))
+    assert main(["--format", "sarif", str(bad)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.staticcheck"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert rule_ids == set(RULE_CATALOG)
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"DET001", "DET004"}
+    for result in results:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("injected.py")
+        assert location["region"]["startLine"] >= 1
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+
+
+def test_cli_sarif_marks_suppressed_findings_as_notes(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()"
+        "  # staticcheck: ignore[DET001] trace-only, never feeds sim\n")
+    assert main(["--strict", "--format", "sarif", str(bad)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    results = report["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["level"] == "note"
+    assert results[0]["suppressions"] == [{"kind": "inSource"}]
+
+
+def test_cli_summary_cache_warm_run_recomputes_nothing(tmp_path, capsys):
+    bad = tmp_path / "injected.py"
+    bad.write_text(textwrap.dedent(VIOLATIONS["DET001"]))
+    cache = tmp_path / "cache.json"
+    assert main(["--summary-cache", str(cache), str(bad)]) == 0
+    cold = capsys.readouterr().err
+    assert "0 module(s) reused, 1 recomputed" in cold
+    assert cache.exists()
+    assert main(["--summary-cache", str(cache), str(bad)]) == 0
+    warm = capsys.readouterr().err
+    assert "1 module(s) reused, 0 recomputed" in warm
+
+
+def test_cli_summary_cache_recomputes_only_changed_module(tmp_path,
+                                                         capsys):
+    first = tmp_path / "first.py"
+    second = tmp_path / "second.py"
+    first.write_text("def a():\n    return 1\n")
+    second.write_text("def b():\n    return 2\n")
+    cache = tmp_path / "cache.json"
+    assert main(["--summary-cache", str(cache), str(tmp_path)]) == 0
+    capsys.readouterr()
+    second.write_text("def b():\n    return 3\n")
+    assert main(["--summary-cache", str(cache), str(tmp_path)]) == 0
+    assert "1 module(s) reused, 1 recomputed" in capsys.readouterr().err
+
+
 @pytest.mark.parametrize("code", sorted(RULE_EXPLANATIONS))
 def test_cli_explain_every_rule(capsys, code):
     assert main(["--explain", code]) == 0
@@ -175,6 +309,10 @@ def test_cli_explain_unknown_rule_errors():
 
 def test_every_catalog_rule_has_an_explanation():
     assert set(RULE_EXPLANATIONS) == set(RULE_CATALOG)
+    for code, (why, bad, good) in RULE_EXPLANATIONS.items():
+        assert why.strip(), f"{code} has no rationale"
+        assert bad.strip(), f"{code} has no violating example"
+        assert good.strip(), f"{code} has no compliant fix"
 
 
 def test_cli_list_rules_prints_catalog(capsys):

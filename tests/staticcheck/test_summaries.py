@@ -1,0 +1,228 @@
+"""Unit coverage for the bottom-up effect-summary fixpoint.
+
+Covers transitive propagation of every facet (yields, nondet, retries,
+scan, returns-resource), witness chains, suppression gating at the
+source, unknown-callee under-approximation, and termination on cycles
+and mutual recursion.
+"""
+
+from repro.staticcheck.interproc import build_project
+from repro.staticcheck.interproc.callgraph import ModuleRecord
+from repro.staticcheck.interproc.summaries import MAX_CHAIN
+
+
+def summaries_of(modules):
+    project = build_project(
+        [ModuleRecord(path, source)
+         for path, source in modules.items()])
+    return project.summaries
+
+
+def test_yields_propagate_transitively_with_chain():
+    summaries = summaries_of({"src/repro/m.py": """
+def sleeps(env):
+    yield env.timeout(1)
+
+def middle(env):
+    sleeps(env)
+
+def top(env):
+    middle(env)
+"""})
+    assert summaries["repro.m.sleeps"].yields
+    assert summaries["repro.m.sleeps"].yields_chain == ()
+    assert summaries["repro.m.middle"].yields
+    assert summaries["repro.m.middle"].yields_chain == \
+        ("repro.m.sleeps",)
+    assert summaries["repro.m.top"].yields
+    assert summaries["repro.m.top"].yields_chain == \
+        ("repro.m.middle", "repro.m.sleeps")
+
+
+def test_nondet_taints_callers_and_names_the_source():
+    summaries = summaries_of({"src/repro/m.py": """
+import time
+
+def source():
+    return time.time()
+
+def caller():
+    return source()
+"""})
+    assert summaries["repro.m.source"].nondet == "time.time"
+    assert summaries["repro.m.caller"].nondet == "time.time"
+    assert summaries["repro.m.caller"].nondet_chain == \
+        ("repro.m.source",)
+
+
+def test_reasoned_suppression_stops_nondet_taint_at_the_source():
+    summaries = summaries_of({"src/repro/m.py": """
+import time
+
+def source():
+    return time.time()  # staticcheck: ignore[DET001] trace-only value
+
+def caller():
+    return source()
+"""})
+    assert summaries["repro.m.source"].nondet == ""
+    assert summaries["repro.m.caller"].nondet == ""
+
+
+def test_unreasoned_suppression_does_not_stop_taint():
+    # The bare pragma is assembled at runtime so it only exists inside
+    # the analyzed string, never on a line of this file — the analyzer
+    # scans tests/ too and would flag a literal one as SUP001.
+    pragma = "# staticcheck: " + "ignore[DET001]"
+    summaries = summaries_of({"src/repro/m.py": """
+import time
+
+def source():
+    return time.time()  %s
+""" % pragma})
+    assert summaries["repro.m.source"].nondet == "time.time"
+
+
+def test_retries_propagate_through_wrappers():
+    summaries = summaries_of({"src/repro/m.py": """
+def retry_call(env, op):
+    for attempt in range(3):
+        try:
+            return op()
+        except OSError:
+            yield env.timeout(1.0)
+
+def wrapper(env, op):
+    return (yield from retry_call(env, op))
+"""})
+    assert summaries["repro.m.retry_call"].retries
+    assert summaries["repro.m.wrapper"].retries
+    assert summaries["repro.m.wrapper"].retries_chain == \
+        ("repro.m.retry_call",)
+
+
+def test_scan_propagates_but_suppressed_scan_does_not():
+    summaries = summaries_of({"src/repro/m.py": """
+def scan_all(watchers, event):
+    for w in watchers:
+        w.deliver(event)
+
+def audited(watchers, event):
+    for w in watchers:  # staticcheck: ignore[PERF001] exact fanout
+        w.deliver(event)
+
+def calls_scan(watchers, event):
+    scan_all(watchers, event)
+
+def calls_audited(watchers, event):
+    audited(watchers, event)
+"""})
+    assert summaries["repro.m.scan_all"].scan == "watchers"
+    assert summaries["repro.m.calls_scan"].scan == "watchers"
+    assert summaries["repro.m.calls_scan"].scan_chain == \
+        ("repro.m.scan_all",)
+    assert summaries["repro.m.audited"].scan == ""
+    assert summaries["repro.m.calls_audited"].scan == ""
+
+
+def test_returns_resource_flows_through_wrapper_chain():
+    summaries = summaries_of({"src/repro/m.py": """
+def make_watch(store, prefix):
+    return store.watch_prefix(prefix)
+
+def make_watch_outer(store, prefix):
+    return make_watch(store, prefix)
+
+def assigned_then_returned(store, prefix):
+    w = store.watch(prefix)
+    return w
+"""})
+    assert summaries["repro.m.make_watch"].returns_resource
+    assert summaries["repro.m.make_watch_outer"].returns_resource
+    assert summaries["repro.m.assigned_then_returned"].returns_resource
+
+
+def test_param_release_and_escape_classification():
+    project = build_project([ModuleRecord("src/repro/m.py", """
+def releases(watch):
+    watch.cancel()
+
+def uses(watch):
+    return watch.pending
+
+def stores(registry, watch):
+    registry.adopt(watch)
+""")])
+    fns = project.locals
+    assert fns["repro.m.releases"].param_release == ("watch",)
+    assert fns["repro.m.uses"].param_release == ()
+    assert fns["repro.m.uses"].param_escape == ()
+    assert "watch" in fns["repro.m.stores"].param_escape
+
+
+def test_unknown_callees_contribute_no_effects():
+    summaries = summaries_of({"src/repro/m.py": """
+def caller(client):
+    client.do_something()
+    return 0
+"""})
+    summary = summaries["repro.m.caller"]
+    assert not summary.yields
+    assert not summary.nondet
+    assert not summary.retries
+    assert summary.unknown_calls == 1
+
+
+def test_mutual_recursion_reaches_fixpoint():
+    summaries = summaries_of({"src/repro/m.py": """
+def ping(env, n):
+    if n > 0:
+        pong(env, n - 1)
+
+def pong(env, n):
+    yield env.timeout(1)
+    ping(env, n)
+"""})
+    assert summaries["repro.m.ping"].yields
+    assert summaries["repro.m.pong"].yields
+    assert summaries["repro.m.ping"].yields_chain[0] == "repro.m.pong"
+
+
+def test_self_recursion_terminates_and_keeps_own_effects():
+    summaries = summaries_of({"src/repro/m.py": """
+def countdown(env, n):
+    yield env.timeout(1)
+    if n > 0:
+        countdown(env, n - 1)
+"""})
+    assert summaries["repro.m.countdown"].yields
+
+
+def test_witness_chains_are_bounded():
+    chain = "\n".join(
+        f"def f{i}(env):\n    f{i + 1}(env)" for i in range(30))
+    source = chain + "\n" + (
+        "def f30(env):\n    yield env.timeout(1)\n")
+    summaries = summaries_of({"src/repro/m.py": source})
+    assert summaries["repro.m.f0"].yields
+    assert len(summaries["repro.m.f0"].yields_chain) <= MAX_CHAIN
+
+
+def test_cross_module_propagation():
+    summaries = summaries_of({
+        "src/repro/low.py": """
+import time
+
+def now():
+    return time.time()
+""",
+        "src/repro/high.py": """
+from repro.low import now
+
+def caller():
+    return now()
+""",
+    })
+    assert summaries["repro.high.caller"].nondet == "time.time"
+    assert summaries["repro.high.caller"].nondet_chain == \
+        ("repro.low.now",)
