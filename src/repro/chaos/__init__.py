@@ -20,15 +20,29 @@ from repro.chaos.engine import (
     RecoveryRecord,
     Scenario,
 )
+from repro.chaos.federation import (
+    FEDERATION_SCENARIOS,
+    FederationChaosEngine,
+    FederationScenario,
+    FederationStep,
+    get_federation_scenario,
+    run_federation_scenario,
+)
 from repro.chaos.scenarios import SCENARIOS, get_scenario
 
 __all__ = [
     "ChaosEngine",
     "ChaosReport",
+    "FEDERATION_SCENARIOS",
+    "FederationChaosEngine",
+    "FederationScenario",
+    "FederationStep",
     "HypothesisResult",
     "InjectionStep",
     "RecoveryRecord",
     "SCENARIOS",
     "Scenario",
+    "get_federation_scenario",
     "get_scenario",
+    "run_federation_scenario",
 ]

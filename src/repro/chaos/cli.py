@@ -12,6 +12,11 @@ import argparse
 from typing import List, Optional
 
 from repro.chaos.engine import ChaosEngine
+from repro.chaos.federation import (
+    FEDERATION_SCENARIOS,
+    FederationChaosEngine,
+    get_federation_scenario,
+)
 from repro.chaos.scenarios import SCENARIOS, get_scenario
 
 
@@ -52,16 +57,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for scenario in SCENARIOS.values():
             print(f"{scenario.name}: {scenario.description}")
+        for scenario in FEDERATION_SCENARIOS.values():
+            print(f"{scenario.name}: [federation] {scenario.description}")
         return 0
-    try:
-        scenario = get_scenario(args.scenario)
-    except KeyError as err:
-        print(err.args[0])
-        return 2
+    if args.scenario in FEDERATION_SCENARIOS:
+        scenario = get_federation_scenario(args.scenario)
+        engine_cls = FederationChaosEngine
+    else:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as err:
+            print(err.args[0])
+            return 2
+        engine_cls = ChaosEngine
+
     def run_once(tiebreak_seed: int):
-        return ChaosEngine(scenario, seed=args.seed,
-                           tiebreak_seed=tiebreak_seed,
-                           detect_races=args.detect_races).run()
+        return engine_cls(scenario, seed=args.seed,
+                          tiebreak_seed=tiebreak_seed,
+                          detect_races=args.detect_races).run()
 
     report = run_once(args.tiebreak_seed)
     print(report.render(args.format, audit=not args.no_audit))

@@ -1,0 +1,554 @@
+"""Whole-cell chaos: blackout and brownout scenarios over a federation.
+
+The single-platform :class:`~repro.chaos.engine.ChaosEngine` breaks
+components *inside* one FfDL installation.  This module breaks entire
+installations: a :class:`FederationChaosEngine` builds N cells under a
+:class:`~repro.federation.dispatcher.FederationDispatcher`, replays a
+paper-shaped federated trace, and injects two whole-cell fault kinds —
+
+* ``cell-blackout`` — the cell goes completely dark (services held
+  down, every node dead, MongoDB unreachable) and later returns;
+* ``cell-brownout`` — the cell stays up but its API/LCM latency
+  inflates by ``param`` (default 200x), the crash-storm signature the
+  health monitor must classify from probe latency alone.
+
+The steady-state hypotheses pin the federation's contract: zero lost
+intent records, zero double executions, every intent resolved, every
+buffered writer drained, all cells healthy again.  Reports reuse
+:class:`~repro.chaos.engine.ChaosReport`, so ``--check-determinism``,
+``--perturb`` and ``--detect-races`` work unchanged: two runs with the
+same seed must produce byte-identical audit logs and end states under
+every tie-break permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.engine import (
+    ChaosReport,
+    HypothesisResult,
+    RecoveryRecord,
+)
+from repro.core import statuses as st
+from repro.errors import QuotaExceededError, SimulationError
+from repro.federation import (
+    Cell,
+    CellSpec,
+    FederationBus,
+    FederationDispatcher,
+    HEALTHY,
+    HealthConfig,
+)
+from repro.sim.core import Environment, OBSERVER
+from repro.sim.failure import FaultEvent, FaultInjector
+from repro.sim.race import RaceDetector
+from repro.sim.rng import RngRegistry
+from repro.workloads.federation_trace import (
+    FederationTrace,
+    FederationTraceConfig,
+)
+
+FEDERATION_FAULT_KINDS = ("cell-blackout", "cell-brownout")
+
+
+@dataclass(frozen=True)
+class CellDef:
+    """Declarative cell shape inside a scenario (pure data)."""
+
+    name: str
+    zone: str
+    gpu_nodes: int
+    gpus_per_node: int
+    gpu_type: str
+
+
+@dataclass(frozen=True)
+class FederationStep:
+    """One whole-cell injection."""
+
+    at_s: float
+    kind: str
+    cell: str
+    duration_s: float = 0.0
+    #: Brownout latency inflation factor (0 -> default 200x).
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FEDERATION_FAULT_KINDS:
+            raise ValueError(
+                f"unknown federation fault kind {self.kind!r}; "
+                f"known: {', '.join(FEDERATION_FAULT_KINDS)}")
+        if self.at_s < 0 or self.duration_s < 0:
+            raise ValueError("at_s and duration_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class FederationScenario:
+    """A named multi-cell chaos scenario."""
+
+    name: str
+    description: str
+    cells: Tuple[CellDef, ...]
+    steps: Tuple[FederationStep, ...]
+    horizon_s: float = 1500.0
+    settle_s: float = 600.0
+    jobs: int = 12
+    arrival_window_s: float = 240.0
+    min_iterations: int = 80
+    max_iterations: int = 200
+    #: Federation-wide per-tenant GPU quota.
+    tenant_quota_gpus: int = 512
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(c.gpu_nodes * c.gpus_per_node for c in self.cells)
+
+
+class FederationChaosEngine:
+    """Runs one federation scenario against freshly built cells."""
+
+    POLL_S = 0.25
+    RECOVERY_TIMEOUT_S = 900.0
+    DRAIN_GRACE_STEPS = 120
+
+    def __init__(self, scenario: FederationScenario, seed: int = 0,
+                 tiebreak_seed: int = 0, detect_races: bool = False):
+        self.scenario = scenario
+        self.seed = seed
+        self.tiebreak_seed = tiebreak_seed
+        self.env = Environment(tiebreak_seed=tiebreak_seed)
+        self.race_detector = RaceDetector(self.env) if detect_races else None
+        self.rng = RngRegistry(seed)
+        self._engine_log: List[Tuple[float, str]] = []
+        self.bus = FederationBus(self.env, self.rng)
+        self.cells: Dict[str, Cell] = {}
+        for spec in scenario.cells:
+            cell = Cell(self.env, self.rng, CellSpec(
+                name=spec.name, zone=spec.zone, gpu_nodes=spec.gpu_nodes,
+                gpus_per_node=spec.gpus_per_node, gpu_type=spec.gpu_type))
+            self.cells[cell.name] = cell
+        self.dispatcher = FederationDispatcher(
+            self.env, self.rng, self.bus, list(self.cells.values()),
+            health_config=HealthConfig(),
+            audit=self._log)
+        self.trace = FederationTrace(self.rng, FederationTraceConfig(
+            jobs=scenario.jobs,
+            arrival_window_s=scenario.arrival_window_s,
+            min_iterations=scenario.min_iterations,
+            max_iterations=scenario.max_iterations,
+            gpu_type_mix=self._gpu_type_mix(scenario)))
+        self.injector = FaultInjector(self.env, self.rng)
+        self.hypotheses: List[HypothesisResult] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.submitted: List[str] = []
+        self.submit_failures = 0
+        self._ran = False
+
+    @staticmethod
+    def _gpu_type_mix(scenario: FederationScenario):
+        """Restrict the trace's GPU-type mix to types some cell actually
+        has (a job demanding a type no cell offers would queue forever),
+        renormalized to preserve the relative production weights."""
+        available = {spec.gpu_type for spec in scenario.cells}
+        mix = tuple((gpu_type, weight) for gpu_type, weight
+                    in FederationTraceConfig().gpu_type_mix
+                    if gpu_type in available)
+        if not mix:
+            raise SimulationError(
+                f"no trace weights for cell GPU types {sorted(available)}")
+        total = sum(weight for _, weight in mix)
+        return tuple((gpu_type, weight / total) for gpu_type, weight in mix)
+
+    # -- audit -------------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        self._engine_log.append((self.env.now, text))
+
+    def audit_lines(self) -> List[str]:
+        """Injector records merged with engine/dispatcher events — the
+        determinism witness (same contract as ChaosEngine)."""
+        entries: List[Tuple[float, int, str, int]] = []
+        for seq, fault in enumerate(self.injector.log):
+            entries.append((fault.time, 0,
+                            f"fault {fault.kind} target={fault.target} "
+                            f"duration={fault.duration_s:.3f}", seq))
+        for seq, (time, text) in enumerate(self._engine_log):
+            entries.append((time, 1, text, seq))
+        entries.sort()
+        return [f"t={time:10.3f} {text}"
+                for time, _src, text, _seq in entries]
+
+    # -- fault binding -----------------------------------------------------
+
+    def _bind(self, step: FederationStep):
+        cell = self.cells.get(step.cell)
+        if cell is None:
+            raise SimulationError(
+                f"scenario targets unknown cell {step.cell!r}")
+        monitor = self.dispatcher.monitors[cell.name]
+
+        if step.kind == "cell-blackout":
+            def inject(event: FaultEvent) -> None:
+                cell.begin_blackout()
+
+            def recover(event: FaultEvent) -> None:
+                cell.end_blackout()
+        else:  # cell-brownout
+            factor = step.param or 200.0
+
+            def inject(event: FaultEvent) -> None:
+                cell.begin_brownout(latency_factor=factor)
+
+            def recover(event: FaultEvent) -> None:
+                cell.end_brownout()
+
+        def healthy() -> bool:
+            # Recovered means the *monitor* says so: detection and
+            # recovery are both observed through probes, like
+            # production.
+            return monitor.state == HEALTHY
+
+        return inject, recover, healthy
+
+    def _schedule_step(self, step: FederationStep) -> None:
+        inject, recover, healthy = self._bind(step)
+
+        def on_fault(event: FaultEvent) -> None:
+            inject(event)
+            self._log(f"inject {step.kind} cell={step.cell} "
+                      f"duration={step.duration_s:g}")
+            self.env.process(self._watch_recovery(step, healthy),
+                             name=f"fedchaos-watch:{step.kind}")
+
+        def on_recover(event: FaultEvent) -> None:
+            recover(event)
+            self._log(f"recover {step.kind} cell={step.cell}")
+
+        self.injector.inject_once(
+            step.kind, step.cell, step.at_s, on_fault,
+            duration_s=step.duration_s, on_recover=on_recover)
+
+    def _watch_recovery(self, step: FederationStep,
+                        healthy: Callable[[], bool]):
+        started = self.env.now
+        # Let the monitor *notice* the fault before watching for the
+        # all-clear (probes take a few intervals to classify).
+        degraded_seen = False
+        while self.env.now - started < self.RECOVERY_TIMEOUT_S:
+            yield self.env.timeout(self.POLL_S, priority=OBSERVER)
+            if not degraded_seen:
+                degraded_seen = not healthy()
+                continue
+            if healthy():
+                duration = self.env.now - started
+                self.recoveries.append(RecoveryRecord(
+                    step.kind, step.cell, started, duration))
+                self._log(f"recovered {step.kind} cell={step.cell} "
+                          f"after {duration:.2f}s")
+                return
+        self.recoveries.append(RecoveryRecord(
+            step.kind, step.cell, started, None, timed_out=True))
+        self._log(f"recovery-timeout {step.kind} cell={step.cell}")
+
+    # -- workload ----------------------------------------------------------
+
+    def _churn(self):
+        jobs = self.trace.generate()
+        for user in sorted({job.user for job in jobs}):
+            self.dispatcher.register_tenant(
+                user, self.scenario.tenant_quota_gpus)
+        now = 0.0
+        for job in jobs:
+            if job.arrival_s > now:
+                yield self.env.timeout(job.arrival_s - now)
+                now = job.arrival_s
+            self.env.process(self._one_job(job),
+                             name=f"fedchaos-job:{job.trace_id}")
+
+    def _one_job(self, job):
+        try:
+            intent_id = yield self.dispatcher.submit(
+                job.to_manifest(), preferred_zone=job.preferred_zone)
+        except QuotaExceededError:
+            self.submit_failures += 1
+            self._log(f"submit-rejected {job.trace_id} "
+                      f"user={job.user} (quota)")
+            return
+        self.submitted.append(intent_id)
+        self._log(f"submitted {intent_id} ({job.trace_id} "
+                  f"{job.total_gpus}x{job.gpu_type})")
+
+    # -- hypotheses --------------------------------------------------------
+
+    def _hyp_no_lost_intents(self) -> Tuple[bool, str]:
+        lost = self.dispatcher.lost_intents()
+        if lost:
+            return False, f"{len(lost)} intent records lost: {lost[:3]}"
+        return True, (f"{len(self.dispatcher.intents())} intent records "
+                      f"durable or buffered")
+
+    def _hyp_no_double_execution(self) -> Tuple[bool, str]:
+        doubles = self.dispatcher.counters["double_executions"]
+        multi = [i.intent_id for i in self.dispatcher.intents()
+                 if i.completions > 1]
+        ok = doubles == 0 and not multi
+        return ok, f"double-executions={doubles} multi-completed={multi[:3]}"
+
+    def _hyp_intent_log_flushed(self) -> Tuple[bool, str]:
+        writer = self.dispatcher.intent_log
+        ok = writer.pending == 0 and not writer.degraded \
+            and writer.write_errors == 0
+        return ok, (f"enqueued={writer.total_enqueued} "
+                    f"flushed={writer.total_flushed} "
+                    f"pending={writer.pending} "
+                    f"errors={writer.write_errors}")
+
+    def _hyp_cell_writers_flushed(self) -> Tuple[bool, str]:
+        stuck = []
+        for name in sorted(self.cells):
+            writer = self.cells[name].platform.status_writer
+            if writer.pending or writer.degraded:
+                stuck.append(f"{name}:{writer.pending}")
+        if stuck:
+            return False, f"cell writers not drained: {stuck}"
+        return True, "every cell status writer drained"
+
+    def _hyp_all_intents_resolved(self) -> Tuple[bool, str]:
+        open_intents = [i.intent_id for i in self.dispatcher.intents()
+                        if not i.terminal]
+        if open_intents:
+            return False, (f"{len(open_intents)} intents unresolved: "
+                           f"{open_intents[:3]}")
+        return True, f"{len(self.dispatcher.intents())} intents terminal"
+
+    def _hyp_cells_healthy(self) -> Tuple[bool, str]:
+        unhealthy = [name for name in sorted(self.dispatcher.monitors)
+                     if self.dispatcher.monitors[name].state != HEALTHY]
+        if unhealthy:
+            return False, f"unhealthy cells: {unhealthy}"
+        return True, f"all {len(self.cells)} cells HEALTHY"
+
+    def _hyp_no_overallocation(self) -> Tuple[bool, str]:
+        over = []
+        for name in sorted(self.cells):
+            cluster = self.cells[name].platform.cluster
+            for node, alloc in sorted(cluster.allocations.items()):
+                if alloc.allocated_gpus > alloc.capacity.gpus:
+                    over.append(f"{name}/{node}")
+        if over:
+            return False, f"over-allocated: {over[:3]}"
+        return True, "no cell over-allocates GPUs"
+
+    def _hypotheses(self):
+        return (
+            ("no-lost-intent-records", self._hyp_no_lost_intents),
+            ("no-double-execution", self._hyp_no_double_execution),
+            ("intent-log-flushed", self._hyp_intent_log_flushed),
+            ("cell-writers-flushed", self._hyp_cell_writers_flushed),
+            ("all-intents-resolved", self._hyp_all_intents_resolved),
+            ("cells-healthy", self._hyp_cells_healthy),
+            ("no-gpu-overallocation", self._hyp_no_overallocation),
+        )
+
+    def _check_hypotheses(self, phase: str, structural_only: bool = False):
+        writers = [self.dispatcher.intent_log] + \
+            [self.cells[name].platform.status_writer
+             for name in sorted(self.cells)]
+        for _ in range(self.DRAIN_GRACE_STEPS):
+            if all(w.pending == 0 and not w.degraded for w in writers):
+                break
+            yield self.env.timeout(0.5, priority=OBSERVER)
+        for name, check in self._hypotheses():
+            if structural_only and name in ("all-intents-resolved",):
+                continue  # meaningless before the workload finishes
+            ok, detail = check()
+            self.hypotheses.append(HypothesisResult(
+                phase, name, ok, detail, self.env.now))
+            self._log(f"hypothesis {name} [{phase}]: "
+                      f"{'PASS' if ok else 'FAIL'} ({detail})")
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        if self._ran:
+            raise SimulationError(
+                "FederationChaosEngine instances are single-use; "
+                "build a fresh one per run")
+        self._ran = True
+        first_fault = min((step.at_s for step in self.scenario.steps),
+                          default=0.0)
+
+        def baseline():
+            yield self.env.timeout(max(0.0, first_fault - 1.0))
+            yield from self._check_hypotheses("steady-state:before",
+                                              structural_only=True)
+
+        self.env.process(baseline(), name="fedchaos-baseline")
+        self.env.process(self._churn(), name="fedchaos-churn")
+        for step in self.scenario.steps:
+            self._schedule_step(step)
+        self.env.run(until=self.scenario.horizon_s
+                     + self.scenario.settle_s)
+        self.env.run_until_complete(
+            self.env.process(
+                self._check_hypotheses("steady-state:after"),
+                name="fedchaos-final"),
+            limit=self.env.now + 120.0)
+        return self._report()
+
+    def _report(self) -> ChaosReport:
+        dispatcher = self.dispatcher
+        counters: Dict[str, float] = {
+            "cells": len(self.cells),
+            "total-gpus": self.scenario.total_gpus,
+            "intents-submitted": len(self.submitted),
+            "submit-rejections": self.submit_failures,
+            "bus-messages": self.bus.stats.messages,
+        }
+        for key in sorted(dispatcher.counters):
+            counters[f"fed-{key.replace('_', '-')}"] = \
+                dispatcher.counters[key]
+        for name in sorted(self.cells):
+            platform = self.cells[name].platform
+            counters[f"{name}-jobs"] = len(platform.jobs)
+            counters[f"{name}-completed"] = sum(
+                1 for job in platform.jobs.values()
+                if job.status.current == st.COMPLETED)
+        counters["faults-injected"] = len(self.injector.log)
+        race_lines: List[str] = []
+        if self.race_detector is not None:
+            race_lines = self.race_detector.render()
+            counters["schedule-conflicts"] = len(race_lines)
+        # The end-state witness covers both layers: federated intents
+        # and every cell-local job.
+        job_states = {intent.intent_id: intent.state
+                      for intent in dispatcher.intents()}
+        for name in sorted(self.cells):
+            for job_id, job in sorted(
+                    self.cells[name].platform.jobs.items()):
+                job_states[f"{name}/{job_id}"] = job.status.current
+        return ChaosReport(
+            scenario=self.scenario.name,
+            seed=self.seed,
+            hypotheses=list(self.hypotheses),
+            recoveries=list(self.recoveries),
+            audit_lines=self.audit_lines(),
+            counters=counters,
+            tiebreak_seed=self.tiebreak_seed,
+            job_states=job_states,
+            race_lines=race_lines,
+        )
+
+
+# -- named scenarios --------------------------------------------------------
+
+FEDERATION_CELL_OUTAGE = FederationScenario(
+    name="federation-cell-outage",
+    description="Two cells; cell-a suffers a whole-cell blackout under "
+                "churn.  Queued and running jobs migrate to cell-b, the "
+                "recovered cell is fenced, and no intent is lost or run "
+                "twice.  (CI smoke scenario.)",
+    cells=(
+        CellDef("cell-a", "zone-a", gpu_nodes=4, gpus_per_node=4,
+                gpu_type="K80"),
+        CellDef("cell-b", "zone-b", gpu_nodes=4, gpus_per_node=4,
+                gpu_type="K80"),
+    ),
+    steps=(
+        FederationStep(at_s=120.0, kind="cell-blackout", cell="cell-a",
+                       duration_s=150.0),
+    ),
+    horizon_s=1600.0,
+    settle_s=600.0,
+    jobs=8,
+    arrival_window_s=180.0,
+    min_iterations=60,
+    max_iterations=140,
+)
+
+FEDERATION_BROWNOUT_MIGRATION = FederationScenario(
+    name="federation-brownout-migration",
+    description="Three cells; cell-a browns out (200x API/LCM latency) "
+                "without dying.  The health monitor must classify the "
+                "brownout from probe latency alone and migrate work to "
+                "the healthy cells.",
+    cells=(
+        CellDef("cell-a", "zone-a", gpu_nodes=4, gpus_per_node=4,
+                gpu_type="K80"),
+        CellDef("cell-b", "zone-a", gpu_nodes=4, gpus_per_node=4,
+                gpu_type="K80"),
+        CellDef("cell-c", "zone-b", gpu_nodes=4, gpus_per_node=4,
+                gpu_type="K80"),
+    ),
+    steps=(
+        FederationStep(at_s=100.0, kind="cell-brownout", cell="cell-a",
+                       duration_s=200.0, param=200.0),
+    ),
+    horizon_s=1600.0,
+    settle_s=600.0,
+    jobs=9,
+    arrival_window_s=180.0,
+    min_iterations=60,
+    max_iterations=140,
+)
+
+FEDERATION_TRACE_3K = FederationScenario(
+    name="federation-trace-3k",
+    description="The acceptance scenario: 4 cells / 3072 GPUs across "
+                "two zones replaying a paper-shaped trace, with one "
+                "whole-cell blackout and one brownout.  Zero lost "
+                "intents, zero double executions, byte-identical audit "
+                "across runs.",
+    cells=(
+        CellDef("cell-a", "zone-a", gpu_nodes=24, gpus_per_node=32,
+                gpu_type="K80"),
+        CellDef("cell-b", "zone-b", gpu_nodes=24, gpus_per_node=32,
+                gpu_type="K80"),
+        CellDef("cell-c", "zone-a", gpu_nodes=24, gpus_per_node=32,
+                gpu_type="V100"),
+        CellDef("cell-d", "zone-b", gpu_nodes=24, gpus_per_node=32,
+                gpu_type="V100"),
+    ),
+    steps=(
+        FederationStep(at_s=180.0, kind="cell-blackout", cell="cell-a",
+                       duration_s=240.0),
+        FederationStep(at_s=300.0, kind="cell-brownout", cell="cell-c",
+                       duration_s=240.0, param=200.0),
+    ),
+    horizon_s=2200.0,
+    settle_s=800.0,
+    jobs=48,
+    arrival_window_s=420.0,
+    min_iterations=80,
+    max_iterations=240,
+    tenant_quota_gpus=1024,
+)
+
+FEDERATION_SCENARIOS: Dict[str, FederationScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FEDERATION_CELL_OUTAGE,
+        FEDERATION_BROWNOUT_MIGRATION,
+        FEDERATION_TRACE_3K,
+    )
+}
+
+
+def get_federation_scenario(name: str) -> FederationScenario:
+    try:
+        return FEDERATION_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(FEDERATION_SCENARIOS)
+        raise KeyError(f"unknown federation scenario {name!r}; "
+                       f"known: {known}") from None
+
+
+def run_federation_scenario(scenario: FederationScenario, seed: int = 0,
+                            tiebreak_seed: int = 0,
+                            detect_races: bool = False) -> ChaosReport:
+    """Build a fresh engine and run ``scenario`` once."""
+    return FederationChaosEngine(scenario, seed=seed,
+                                 tiebreak_seed=tiebreak_seed,
+                                 detect_races=detect_races).run()

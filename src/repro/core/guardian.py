@@ -113,12 +113,18 @@ def _deploy(platform: "FfDLPlatform", job: TrainingJob, container):
     # Step 4: learner StatefulSet (the scheduling gang).
     platform.create_learners(job)
     platform.cluster.scheduler.kick()
+    if platform.crash_guardian_after_step == 4:
+        raise RuntimeError("injected guardian crash after step 4")
 
     # Step 5: durable milestone — a restarted Guardian must monitor, not
     # roll back a healthy job.
     yield platform.etcd_client.put(deployed_key(job.job_id),
                                    DEPLOYED_MILESTONE_VALUE)
     job.deploy_completed_at = env.now
+    if platform.crash_guardian_after_step == 5:
+        # The deploy-but-before-monitoring window: the milestone is
+        # durable, so the restarted Guardian must monitor, not redeploy.
+        raise RuntimeError("injected guardian crash after step 5")
     container.log("deployment complete")
 
 
@@ -212,4 +218,10 @@ def _garbage_collect(platform: "FfDLPlatform", job: TrainingJob,
         if pvc.volume is not None:
             pvc.volume.release()
         api.delete_pvc(job.pvc_name)
+    # Let the pod deletions complete their API round-trip before clearing
+    # the job's etcd state: a still-dying controller holds lease-backed
+    # status keys, and a put it issued before the kill must land before —
+    # never concurrently with — the prefix delete, or cleanup races
+    # resurrection.
+    yield platform.env.timeout(0.2)
     yield platform.etcd_client.delete_prefix(job_prefix(job.job_id))

@@ -100,6 +100,10 @@ class PlatformConfig:
     mount_retry: Optional[RetryPolicy] = None
     #: Guard the etcd/mongo clients with circuit breakers.
     client_breakers: bool = False
+    #: Guard the API/LCM microservice call paths with circuit breakers
+    #: (deadline misses against a fully-crashed replica set trip them;
+    #: the federation health probes read the same breakers).
+    service_breakers: bool = False
     breaker_failure_threshold: int = 5
     breaker_reset_timeout_s: float = 10.0
     #: How long the status writer waits after exhausting a write's
@@ -186,13 +190,23 @@ class FfDLPlatform:
 
         # -- core services -----------------------------------------------------
         self.metrics = TrainingMetricsService(env)
+
+        def service_breaker(name: str) -> Optional[CircuitBreaker]:
+            if not cfg.service_breakers:
+                return None
+            return CircuitBreaker(
+                env, failure_threshold=cfg.breaker_failure_threshold,
+                reset_timeout_s=cfg.breaker_reset_timeout_s, name=name)
+
         self.api_service = Microservice(env, rng, "api",
                                         replicas=cfg.api_replicas,
                                         recovery_range_s=cfg.api_recovery_s,
-                                        metrics=self.metrics)
+                                        metrics=self.metrics,
+                                        breaker=service_breaker("api"))
         self.lcm = Microservice(env, rng, "lcm", replicas=cfg.lcm_replicas,
                                 recovery_range_s=cfg.lcm_recovery_s,
-                                metrics=self.metrics)
+                                metrics=self.metrics,
+                                breaker=service_breaker("lcm"))
         self.metrics_service = Microservice(env, rng, "training-metrics",
                                             replicas=cfg.metrics_replicas,
                                             metrics=self.metrics)

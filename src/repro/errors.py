@@ -147,3 +147,15 @@ class QuotaExceededError(PlatformError):
 
 class DeploymentFailedError(PlatformError):
     """The Guardian exhausted its deployment retries."""
+
+
+class FederationError(ReproError):
+    """Raised by the multi-cell federation layer."""
+
+
+class CellUnavailableError(FederationError):
+    """The targeted cell is blacked out or unreachable over the bus."""
+
+
+class IntentConflictError(FederationError):
+    """An intent-log transition raced a newer generation (stale retry)."""

@@ -49,6 +49,10 @@ class WorkloadControllers:
         #: Pod uids whose failure was already charged to their KubeJob
         #: (a pod can both fail and later be deleted; count it once).
         self._job_failures_counted: set = set()
+        #: Owner uids with a reconcile already scheduled (workqueue
+        #: dedup): N same-instant pod deletions must collapse into one
+        #: reconcile pass, not race N identical passes.
+        self._pending_reconciles: set = set()
         api.subscribe("replicasets", self._on_set_change)
         api.subscribe("statefulsets", self._on_set_change)
         api.subscribe("deployments", self._on_set_change)
@@ -100,8 +104,18 @@ class WorkloadControllers:
         return None
 
     def _schedule_reconcile(self, owner) -> None:
+        if owner.meta.uid in self._pending_reconciles:
+            # Workqueue semantics: the pending pass reads current state
+            # when it fires, so further triggers until then are covered.
+            return
+        self._pending_reconciles.add(owner.meta.uid)
+
         def later():
             yield self.env.timeout(RECONCILE_DELAY_S)
+            # Clear before reconciling: _reconcile is atomic (no yields),
+            # so a trigger racing it lands after the pass and schedules a
+            # fresh one instead of being lost.
+            self._pending_reconciles.discard(owner.meta.uid)
             # The owner may have been deleted while we waited.
             if self._find_owner(owner.meta.uid) is not None:
                 self._reconcile(owner)

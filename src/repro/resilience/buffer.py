@@ -19,7 +19,7 @@ import random
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-from repro.errors import StoreError
+from repro.errors import DuplicateKeyError, SimulationError, StoreError
 from repro.resilience.policy import RetryPolicy, TRANSIENT_ERRORS
 from repro.sim.core import Environment, Event
 
@@ -57,7 +57,12 @@ class BufferedJobWriter:
         self.total_enqueued = 0
         self.total_flushed = 0
         self.write_errors = 0
+        #: Inserts whose ``_id`` was already durable (idempotent retries
+        #: of an already-applied write — suppressed, not errors).
+        self.duplicates_suppressed = 0
         self.peak_pending = 0
+        self._closed = False
+        self._drain_waiters: List[Event] = []
         self.degraded_since: Optional[float] = None
         #: Closed degradation windows: (entered, recovered).
         self.degraded_periods: List[Tuple[float, float]] = []
@@ -73,6 +78,9 @@ class BufferedJobWriter:
         return self._enqueue("update", collection, (query, update, upsert))
 
     def _enqueue(self, op: str, collection: str, args) -> Event:
+        if self._closed:
+            raise SimulationError(
+                "BufferedJobWriter is closed; no further writes accepted")
         item = _PendingWrite(self.env, op, collection, args)
         self._queue.append(item)
         self.total_enqueued += 1
@@ -90,6 +98,40 @@ class BufferedJobWriter:
     @property
     def degraded(self) -> bool:
         return self.degraded_since is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drained_event(self) -> Event:
+        """Event firing when the queue next becomes empty (immediately if
+        it is empty now).  Writes buffered through an outage are flushed
+        first — drain waits for the store to recover rather than dropping
+        anything."""
+        done = self.env.event()
+        if not self._queue:
+            done.succeed()
+        else:
+            self._drain_waiters.append(done)
+        return done
+
+    def close(self) -> Event:
+        """Shutdown: reject further enqueues, keep flushing what is
+        queued, and return the drain event.  The documented shutdown
+        contract — nothing buffered is ever dropped."""
+        self._closed = True
+        return self.drained_event()
+
+    def pending_ids(self, collection: str) -> List[str]:
+        """``_id`` values of queued writes against ``collection`` —
+        records that are buffered (not lost) but not yet durable."""
+        ids = []
+        for write in self._queue:
+            target = write.args[0]
+            record_id = target.get("_id")
+            if write.collection == collection and record_id is not None:
+                ids.append(record_id)
+        return ids
 
     def degraded_event(self) -> Event:
         """Event firing when the writer next enters degraded mode (or
@@ -136,22 +178,41 @@ class BufferedJobWriter:
                 self.total_flushed += 1
                 if not head.done.triggered:
                     head.done.succeed()
+            elif outcome == "duplicate":
+                # The record is already durable (an idempotent re-insert
+                # after a retry): suppressed, and the enqueuer sees the
+                # same success it would have seen the first time.
+                self.duplicates_suppressed += 1
+                if not head.done.triggered:
+                    head.done.succeed()
             else:  # semantic store error: a bug upstream, not an outage
                 self.write_errors += 1
                 if not head.done.triggered:
                     head.done.succeed(None)
+            if not self._queue:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for waiter in waiters:
+                    if not waiter.triggered:
+                        waiter.succeed()
 
     def _flush_one(self, item: _PendingWrite):
         """Bounded attempt run for one write.
 
         Returns ``"flushed"`` when durable, ``"transient"`` when the
-        store is unreachable (the item must stay queued), ``"error"``
-        when the store rejected the write semantically (duplicate key,
-        bad update) — retrying such a write would wedge the queue.
+        store is unreachable (the item must stay queued),
+        ``"duplicate"`` when an insert's ``_id`` is already durable (an
+        idempotent retry of an applied write — the property the
+        federation dispatcher's intent log relies on), ``"error"`` when
+        the store rejected the write semantically (bad update) —
+        retrying such a write would wedge the queue.
         """
         for attempt in range(self.policy.max_attempts):
             try:
                 yield self._issue(item)
+            except DuplicateKeyError:
+                if item.op == "insert":
+                    return "duplicate"
+                return "error"
             except TRANSIENT_ERRORS:
                 if attempt + 1 >= self.policy.max_attempts:
                     return "transient"

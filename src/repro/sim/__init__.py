@@ -10,6 +10,7 @@ from repro.sim.core import (
     Timeout,
 )
 from repro.sim.failure import FaultEvent, FaultInjector, FaultSpec
+from repro.sim.mailbox import Mailbox
 from repro.sim.race import (
     RaceDetector,
     RaceError,
@@ -30,6 +31,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "Interrupt",
+    "Mailbox",
     "Process",
     "RaceDetector",
     "RaceError",

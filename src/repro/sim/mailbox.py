@@ -1,0 +1,90 @@
+"""Deterministically merged mailboxes for cross-cell messaging.
+
+A plain :class:`~repro.sim.resources.Store` delivers same-instant puts
+in kernel scheduling order — exactly the order the tie-break mixer is
+free to permute, so two federated cells whose messages land on a third
+party in the same simulated instant would make the run
+schedule-sensitive.  :class:`Mailbox` closes that hole: puts arriving
+within one instant are buffered until the instant settles (an
+:data:`~repro.sim.core.OBSERVER`-priority zero-timeout) and then merged
+in canonical order of their ``key`` — ``(sender name, per-sender
+sequence number)`` for the federation bus — before any getter sees
+them.  Two runs under different tie-break seeds therefore drain the
+same messages in the same order, which is what keeps a multi-cell
+federation byte-reproducible under ``--perturb``.
+
+Keys must be unique per message (the bus's per-sender counters
+guarantee this); messages from one sender are never reordered against
+each other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event, OBSERVER
+
+
+class Mailbox:
+    """An unbounded queue whose same-instant arrivals merge canonically."""
+
+    def __init__(self, env: Environment, name: str = "mailbox"):
+        self.env = env
+        self.name = name
+        #: Arrived this instant, not yet visible to getters.
+        self._pending: List[Tuple[Any, Any]] = []
+        self._settle_scheduled = False
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._keys_seen: set = set()
+        self.total_put = 0
+        self.total_got = 0
+
+    def put(self, item: Any, key: Any) -> None:
+        """Enqueue ``item`` under a canonical merge ``key``.
+
+        The item becomes visible to getters only after the current
+        instant settles, together with — and canonically ordered
+        against — every other item that arrived at the same instant.
+        """
+        if key in self._keys_seen:
+            raise SimulationError(
+                f"mailbox {self.name!r}: duplicate merge key {key!r}")
+        self._keys_seen.add(key)
+        self._pending.append((key, item))
+        self.total_put += 1
+        if not self._settle_scheduled:
+            self._settle_scheduled = True
+            settle = self.env.timeout(0.0, priority=OBSERVER)
+            settle.callbacks.append(self._settle)
+
+    def _settle(self, _event: Event) -> None:
+        self._settle_scheduled = False
+        batch, self._pending = self._pending, []
+        batch.sort(key=lambda entry: entry[0])
+        for _key, item in batch:
+            delivered = False
+            while self._getters:
+                getter = self._getters.popleft()
+                if not getter.triggered:
+                    getter.succeed(item)
+                    delivered = True
+                    break
+            if not delivered:
+                self._items.append(item)
+
+    def get(self) -> Event:
+        """Event resolving with the next merged item."""
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self.total_got += 1
+        else:
+            self._getters.append(ev)
+            self.total_got += 1
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items) + len(self._pending)

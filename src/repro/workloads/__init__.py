@@ -23,6 +23,12 @@ from repro.workloads.synthetic import (
     JOBS_PER_WORKLOAD,
     run_gang_experiment,
 )
+from repro.workloads.federation_trace import (
+    FederationTrace,
+    FederationTraceConfig,
+    FederationTraceJob,
+    demand_gpus,
+)
 from repro.workloads.trace import (
     ProductionTrace,
     SECONDS_PER_DAY,
@@ -38,6 +44,9 @@ __all__ = [
     "CLUSTER_MACHINES",
     "FailureStudyConfig",
     "FailureStudyResult",
+    "FederationTrace",
+    "FederationTraceConfig",
+    "FederationTraceJob",
     "GANG_WORKLOADS",
     "GPUS_PER_MACHINE",
     "GangRunResult",
@@ -51,6 +60,7 @@ __all__ = [
     "arrivals_by_day",
     "build_platform",
     "degradation_percent",
+    "demand_gpus",
     "run_failure_study",
     "run_gang_experiment",
 ]

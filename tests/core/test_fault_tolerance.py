@@ -128,6 +128,60 @@ def test_guardian_crash_after_deploy_does_not_roll_back():
     assert job.learner_states[0].iterations_done == 3000
 
 
+def test_guardian_crash_after_learner_create_rolls_back_and_redeploys():
+    """Crash after step 4 (StatefulSet created, milestone NOT durable):
+    the restarted Guardian must tear the gang down and redeploy."""
+    env, platform = make_platform()
+    api = platform.cluster.api
+    gang_creates = []
+    api.subscribe("statefulsets",
+                  lambda verb, obj: verb == "ADDED"
+                  and gang_creates.append(obj.name))
+    platform.crash_guardian_after_step = 4
+    job_id = submit(env, platform, make_manifest(iterations=100))
+    job = platform.job(job_id)
+    while job.guardian_attempts < 2 and env.now < 200:
+        env.run(until=env.now + 0.5)
+    assert job.guardian_attempts >= 2
+    platform.crash_guardian_after_step = 0  # next attempt succeeds
+    status = run_to_terminal(env, platform, job_id, limit=1e6)
+    assert status == st.COMPLETED
+    # The milestone was never written before the crash, so every restart
+    # rolled the gang back and created a fresh StatefulSet.
+    assert gang_creates.count(job.statefulset_name) >= 2
+    # No zombie objects from the rolled-back attempts.
+    env.run(until=env.now + 30)
+    assert not api.exists("statefulsets", job.statefulset_name)
+    assert not api.exists("networkpolicies", job.netpol_name)
+    assert not api.exists("pvcs", job.pvc_name)
+
+
+def test_guardian_crash_after_milestone_monitors_without_redeploy():
+    """Crash after step 5 (milestone durable): the restarted Guardian
+    must go straight to monitoring — never roll back or double-deploy
+    the healthy gang."""
+    env, platform = make_platform()
+    api = platform.cluster.api
+    gang_creates = []
+    api.subscribe("statefulsets",
+                  lambda verb, obj: verb == "ADDED"
+                  and gang_creates.append(obj.name))
+    platform.crash_guardian_after_step = 5
+    job_id = submit(env, platform,
+                    make_manifest(iterations=3000, ckpt=1000))
+    status = run_to_terminal(env, platform, job_id, limit=1e6)
+    assert status == st.COMPLETED
+    job = platform.job(job_id)
+    # Exactly one crash: the restart reads the milestone, skips _deploy
+    # (so the step-5 hook never fires again), and monitors.
+    assert job.guardian_attempts == 2
+    assert gang_creates.count(job.statefulset_name) == 1
+    # Training was never interrupted by a rollback: no checkpoint
+    # reloads, full iteration count on the original learners.
+    assert job.learner_states[0].checkpoints_loaded == 0
+    assert job.learner_states[0].iterations_done == 3000
+
+
 def test_helper_crash_recovers_and_statuses_keep_flowing():
     env, platform = make_platform()
     job_id = submit(env, platform, make_manifest(iterations=2500))

@@ -4,6 +4,8 @@ import pytest
 
 from repro.core import Microservice, TrainingMetricsService
 from repro.core.logging_service import LogIndex
+from repro.errors import CircuitOpenError, DeadlineExceededError
+from repro.resilience import CircuitBreaker
 from repro.sim import Environment, RngRegistry
 
 
@@ -81,6 +83,95 @@ def test_replicas_must_be_positive():
     env = Environment()
     with pytest.raises(ValueError):
         Microservice(env, RngRegistry(0), "bad", replicas=0)
+
+
+def make_guarded_service(replicas=2, recovery=(30.0, 30.0),
+                         failure_threshold=2, reset_timeout_s=10.0):
+    env = Environment()
+    breaker = CircuitBreaker(env, failure_threshold=failure_threshold,
+                             reset_timeout_s=reset_timeout_s, name="svc")
+    service = Microservice(env, RngRegistry(0), "svc", replicas=replicas,
+                           recovery_range_s=recovery, breaker=breaker)
+    return env, service, breaker
+
+
+def call_sync(env, service, deadline_s=None, limit=1000):
+    def flow():
+        return (yield service.call(lambda: "served",
+                                   deadline_s=deadline_s))
+    return env.run_until_complete(env.process(flow()), limit=limit)
+
+
+def test_deadline_consumed_against_fully_crashed_replicas():
+    """A request against a dead replica set burns its Deadline against
+    the recovery wait and fails at the deadline, not at recovery."""
+    env, service, _b = make_guarded_service(recovery=(30.0, 30.0))
+    service.crash_replica()
+    service.crash_replica()
+    assert not service.available
+    with pytest.raises(DeadlineExceededError):
+        call_sync(env, service, deadline_s=2.0)
+    # The caller got its answer at the deadline, long before the 30s
+    # replica recovery.
+    assert env.now == pytest.approx(2.0)
+    assert service.requests_served == 0
+
+
+def test_deadline_misses_trip_breaker_and_fail_fast():
+    """Consecutive deadline misses open the breaker; an OPEN breaker
+    rejects the next call immediately instead of burning its deadline
+    against the same dead backend."""
+    env, service, breaker = make_guarded_service(
+        recovery=(30.0, 30.0), failure_threshold=2, reset_timeout_s=10.0)
+    service.take_down()
+    for _ in range(2):
+        with pytest.raises(DeadlineExceededError):
+            call_sync(env, service, deadline_s=1.0)
+    assert breaker.state == "open"
+    rejected_at = env.now
+    with pytest.raises(CircuitOpenError):
+        call_sync(env, service, deadline_s=1.0)
+    # Fail-fast: no deadline was consumed by the rejected call.
+    assert env.now == rejected_at
+
+
+def test_half_open_probe_closes_breaker_after_recovery():
+    env, service, breaker = make_guarded_service(
+        recovery=(30.0, 30.0), failure_threshold=1, reset_timeout_s=5.0)
+    service.take_down()
+    with pytest.raises(DeadlineExceededError):
+        call_sync(env, service, deadline_s=1.0)
+    assert breaker.state == "open"
+    service.restore()
+    # Still inside the reset window: rejected without touching the
+    # (now healthy) service.
+    with pytest.raises(CircuitOpenError):
+        call_sync(env, service, deadline_s=1.0)
+    env.run(until=env.now + 5.0)
+    # Past the window the HALF_OPEN probe rides an ordinary request and
+    # its success closes the breaker.
+    assert call_sync(env, service, deadline_s=1.0) == "served"
+    assert breaker.state == "closed"
+    assert service.requests_served == 1
+
+
+def test_recovery_range_pinned_with_breaker_open():
+    """Table 3 behaviour is unchanged by the breaker: replicas recover
+    within the configured range even while the circuit is open, and the
+    first admitted call after the reset window is served."""
+    env, service, breaker = make_guarded_service(
+        recovery=(3.0, 5.0), failure_threshold=1, reset_timeout_s=10.0)
+    service.crash_replica()
+    service.crash_replica()
+    with pytest.raises(DeadlineExceededError):
+        call_sync(env, service, deadline_s=1.0)
+    assert breaker.state == "open"
+    env.run(until=20.0)
+    for down, up in service.recovery_log:
+        assert 3.0 <= up - down <= 5.0
+    assert service.available
+    assert call_sync(env, service, deadline_s=1.0) == "served"
+    assert breaker.state == "closed"
 
 
 def test_metrics_series_and_aggregates():

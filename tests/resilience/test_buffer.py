@@ -1,6 +1,13 @@
 """Unit tests for the write-behind BufferedJobWriter."""
 
-from repro.errors import DuplicateKeyError, StoreUnavailableError
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    SimulationError,
+    StoreError,
+    StoreUnavailableError,
+)
 from repro.resilience import BufferedJobWriter, RetryPolicy
 from repro.sim import Environment, RngRegistry
 
@@ -14,6 +21,7 @@ class FakeMongoClient:
         self.available = True
         self.applied = []
         self.reject_duplicates = False
+        self.reject_updates = False
         self._seen_ids = set()
 
     def _op(self, op, collection, payload):
@@ -21,6 +29,8 @@ class FakeMongoClient:
             yield self.env.timeout(self.latency_s)
             if not self.available:
                 raise StoreUnavailableError("down")
+            if op == "update" and self.reject_updates:
+                raise StoreError("bad update")
             if op == "insert" and self.reject_duplicates:
                 doc_id = payload[0].get("_id")
                 if doc_id in self._seen_ids:
@@ -115,15 +125,94 @@ def test_degraded_mode_entered_and_left():
 
 def test_semantic_errors_are_dropped_not_retried_forever():
     env, client, writer = make_writer()
-    client.reject_duplicates = True
+    client.reject_updates = True
     writer.insert("jobs", {"_id": "j1"})
-    writer.insert("jobs", {"_id": "j1"})  # duplicate: semantic error
+    # A rejected update is a semantic store error (unlike a duplicate
+    # insert, which is an idempotent retry): dropped after one attempt
+    # so the queue never wedges.
+    writer.update("jobs", {"_id": "bad"}, {"$set": {"x": 1}})
     writer.insert("jobs", {"_id": "j2"})
     env.run(until=10.0)
     assert writer.pending == 0  # the queue never wedges
     assert writer.total_flushed == 2
     assert writer.write_errors == 1
     assert not writer.degraded
+
+
+def test_duplicate_insert_is_suppressed_not_an_error():
+    """Re-inserting an already-durable ``_id`` (idempotent re-submission
+    after a migration or crash) is success, not a semantic error: the
+    enqueuer's done event fires, the queue never wedges, and later
+    updates against the record still apply."""
+    env, client, writer = make_writer()
+    client.reject_duplicates = True
+    writer.insert("jobs", {"_id": "j1"})
+    env.run(until=2.0)
+    durable = []
+
+    def resubmit():
+        yield writer.insert("jobs", {"_id": "j1"})
+        durable.append(env.now)
+
+    env.process(resubmit())
+    writer.update("jobs", {"_id": "j1"}, {"$set": {"status": "MIGRATED"}})
+    env.run(until=10.0)
+    assert durable, "duplicate insert must still resolve its done event"
+    assert writer.duplicates_suppressed == 1
+    assert writer.write_errors == 0
+    assert writer.pending == 0
+    assert not writer.degraded
+    # First insert + the update landed; the duplicate did not re-apply.
+    ops = [op for _t, op, _c, _p in client.applied]
+    assert ops == ["insert", "update"]
+
+
+def test_close_drains_backlog_across_an_outage():
+    """Shutdown contract: close() rejects new writes but flushes every
+    buffered record — even through a store outage — before the returned
+    drain event fires."""
+    env, client, writer = make_writer()
+    client.available = False
+    for index in range(4):
+        writer.insert("jobs", {"_id": f"j{index}"})
+    drained_at = []
+
+    def shutdown():
+        yield env.timeout(1.0)
+        done = writer.close()
+        assert writer.closed
+        yield done
+        drained_at.append(env.now)
+
+    def recover():
+        yield env.timeout(12.0)
+        client.available = True
+
+    env.process(shutdown())
+    env.process(recover())
+    env.run(until=60.0)
+    assert drained_at and drained_at[0] >= 12.0
+    assert writer.pending == 0
+    assert writer.total_flushed == 4
+    assert [p[0]["_id"] for _t, _op, _c, p in client.applied] == \
+        [f"j{index}" for index in range(4)]
+    # Writes after close are rejected loudly, not silently dropped.
+    with pytest.raises(SimulationError, match="closed"):
+        writer.insert("jobs", {"_id": "late"})
+
+
+def test_pending_ids_names_buffered_records():
+    env, client, writer = make_writer()
+    client.available = False
+    writer.insert("jobs", {"_id": "j1"})
+    writer.update("jobs", {"_id": "j2"}, {"$set": {"x": 1}})
+    writer.insert("intents", {"_id": "i1"})
+    env.run(until=0.5)
+    assert writer.pending_ids("jobs") == ["j1", "j2"]
+    assert writer.pending_ids("intents") == ["i1"]
+    client.available = True
+    env.run(until=10.0)
+    assert writer.pending_ids("jobs") == []
 
 
 def test_peak_pending_tracks_backlog():
