@@ -37,6 +37,28 @@ BENCH_DIR = Path(__file__).parent
 #: --check mode fails the build.
 REGRESSION_TOLERANCE = 0.20
 
+#: Allowed optimized/baseline wall-clock ratio within one fresh run.
+#: Wall seconds are machine-dependent, but the *ratio* on the same
+#: machine back to back is not: the fast paths must never make a
+#: scenario materially slower than its reference implementation.
+#: Scenarios faster than WALL_CLOCK_FLOOR_S in baseline are skipped —
+#: at sub-50ms scale the ratio is scheduler-jitter noise.
+WALL_CLOCK_RATIO = 1.5
+WALL_CLOCK_FLOOR_S = 0.05
+
+#: Sampled-mode placement-quality envelopes: each sched_sampled quality
+#: metric must stay within ``exhaustive value + slack`` of the "sched"
+#: run at the same scale.  These are the declared bounds the sampling
+#: contract promises (see DESIGN.md): sampling may fragment more (the
+#: round-robin cursor spreads pods across rotating windows instead of
+#: packing one prefix) but must not meaningfully delay pods or grow the
+#: pending queue.
+QUALITY_BOUNDS = {
+    "mean_fragmentation": 0.50,
+    "mean_pending_depth": 1.00,
+    "mean_wait_s": 0.25,
+}
+
 _REQUIRED_KEYS = ("scenario", "scales")
 _REQUIRED_SCALE_KEYS = ("params", "ops", "equivalent", "reduction",
                         "wall_clock_s")
@@ -71,10 +93,18 @@ def run_scenario(name: str, scale: str) -> dict:
             f"{name}/{scale}: fast paths changed observable state:\n"
             f"  optimized: {optimized['state']}\n"
             f"  baseline:  {baseline['state']}")
+    if optimized.get("quality") != baseline.get("quality"):
+        # Quality metrics are observable too: node sampling is a config
+        # knob applied identically in both modes, so the fast paths may
+        # not move them at all.
+        raise AssertionError(
+            f"{name}/{scale}: fast paths changed quality metrics:\n"
+            f"  optimized: {optimized.get('quality')}\n"
+            f"  baseline:  {baseline.get('quality')}")
     metric = optimized["ops"]["metric"]
     opt_ops = optimized["ops"][metric]
     base_ops = baseline["ops"][metric]
-    return {
+    entry = {
         "params": optimized["params"],
         "ops": {
             "metric": metric,
@@ -88,6 +118,9 @@ def run_scenario(name: str, scale: str) -> dict:
             "baseline": round(wall_base, 3),
         },
     }
+    if "quality" in optimized:
+        entry["quality"] = optimized["quality"]
+    return entry
 
 
 def bench_path(name: str) -> Path:
@@ -129,6 +162,40 @@ def check_regression(committed: dict, fresh: dict, name: str,
     return errors
 
 
+def check_wall_clock(fresh: dict, name: str, scale: str) -> list:
+    """Optimized must not run materially slower than baseline."""
+    wall = fresh["wall_clock_s"]
+    if wall["baseline"] < WALL_CLOCK_FLOOR_S:
+        return []
+    if wall["optimized"] > wall["baseline"] * WALL_CLOCK_RATIO:
+        return [f"{name}/{scale}: optimized wall-clock "
+                f"{wall['optimized']}s exceeds baseline "
+                f"{wall['baseline']}s by more than "
+                f"{WALL_CLOCK_RATIO}x"]
+    return []
+
+
+def check_quality_bounds(results: dict, scales: tuple) -> list:
+    """Sampled-mode quality must stay inside the declared envelopes of
+    the exhaustive run at the same scale."""
+    errors = []
+    exhaustive = results.get("sched", {})
+    sampled = results.get("sched_sampled", {})
+    for scale in scales:
+        reference = exhaustive.get(scale, {}).get("quality")
+        candidate = sampled.get(scale, {}).get("quality")
+        if reference is None or candidate is None:
+            continue
+        for metric, slack in QUALITY_BOUNDS.items():
+            allowed = reference[metric] + slack
+            if candidate[metric] > allowed:
+                errors.append(
+                    f"sched_sampled/{scale}: {metric} "
+                    f"{candidate[metric]} outside declared envelope "
+                    f"(exhaustive {reference[metric]} + {slack})")
+    return errors
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="deterministic perf benchmarks")
@@ -145,8 +212,9 @@ def main(argv=None) -> int:
     names = args.scenario or sorted(SCENARIOS)
     scales = ("smoke", "full") if args.scale == "both" else (args.scale,)
     failures = []
+    all_results = {}
     for name in names:
-        results = {}
+        results = all_results[name] = {}
         for scale in scales:
             print(f"[{name}/{scale}] running ...", flush=True)
             results[scale] = run_scenario(name, scale)
@@ -156,6 +224,9 @@ def main(argv=None) -> int:
                   f"baseline={ops['ops']['baseline'][ops['ops']['metric']]} "
                   f"reduction={ops['reduction']}x "
                   f"wall={ops['wall_clock_s']}", flush=True)
+            if args.check:
+                failures.extend(check_wall_clock(
+                    results[scale], name, scale))
         if args.check:
             path = bench_path(name)
             if not path.exists():
@@ -178,6 +249,8 @@ def main(argv=None) -> int:
             path.write_text(json.dumps(payload, indent=2,
                                        sort_keys=True) + "\n")
             print(f"[{name}] wrote {path}", flush=True)
+
+    failures.extend(check_quality_bounds(all_results, scales))
 
     if failures:
         print("PERF CHECK FAILED:", file=sys.stderr)

@@ -55,7 +55,10 @@ class Kubelet:
         #: The live lifecycle process (setup or monitor) per pod uid, so
         #: crash injection can interrupt a pod mid-image-pull.
         self._pod_processes: Dict[str, Process] = {}
-        api.subscribe("pods", self._on_pod_change)
+        # Node-indexed subscription: this kubelet only acts on pods
+        # bound to its own node (the handler below still self-filters,
+        # which is the whole behavior under REPRO_PERF_DISABLE).
+        api.subscribe_pods_for_node(node.name, self._on_pod_change)
 
     # -- watch handlers --------------------------------------------------------
 

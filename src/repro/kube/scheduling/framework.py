@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.kube.api import ADDED, KubeAPI
+from repro.kube.api import ADDED, DELETED, KubeAPI
 from repro.kube.events import (
     FAILED_SCHEDULING,
     KubeEvent,
@@ -42,6 +42,7 @@ from repro.sim.rng import RngRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kube.cluster import Cluster
+    from repro.kube.resources import NodeAllocation
 
 
 @dataclass
@@ -69,6 +70,21 @@ class SchedulerConfig:
     #: (Table 8): API-server timeouts and stale assume-cache failures.
     timeout_race_probability: float = 0.0
     assume_race_probability: float = 0.0
+    #: Node-scoring sample size, as in upstream Kubernetes'
+    #: percentageOfNodesToScore: 100 (the default) filters and scores
+    #: every node — placements are byte-identical to the pre-sampling
+    #: scheduler, which the BENCH state digest asserts.  Below 100 the
+    #: filter stops at the first ``max(min_feasible_nodes_to_find,
+    #: pct/100 * cluster_size)`` feasible nodes found from a
+    #: deterministic round-robin cursor (*sampled mode*): placements
+    #: may legitimately differ from exhaustive mode, but quality
+    #: metrics (fragmentation, gang wait, pending depth) must stay
+    #: within the envelopes declared in ``benchmarks/perf``.
+    percentage_of_nodes_to_score: int = 100
+    #: Sampling floor: below this many feasible nodes the percentage is
+    #: ignored (k8s' minFeasibleNodesToFind), so small clusters always
+    #: schedule exhaustively.
+    min_feasible_nodes_to_find: int = 100
     #: The paper observes that "the order in which learner pods are queued
     #: by K8S for scheduling is non deterministic".  When True (default),
     #: same-instant arrivals are reordered by a bounded random displacement
@@ -120,10 +136,47 @@ class Scheduler:
         #: ``None`` under REPRO_PERF_DISABLE.
         self._feas_cache: Optional[Dict[str, Dict[tuple, bool]]] = \
             {} if optimizations_enabled() else None
+        #: Score cache: node name -> {(resources, owner) -> score}.
+        #: A score is a pure function of the node's allocation, the pod's
+        #: resource request, and the (owner, node) pod count, so entries
+        #: stay valid until the node's allocation changes
+        #: (``invalidate_node``) or a pod of some owner binds to /
+        #: leaves the node (the placement tracker below).
+        self._score_cache: Optional[Dict[str, Dict[tuple, float]]] = \
+            {} if optimizations_enabled() else None
+        #: (owner uid, node name) -> bound-pod count, maintained from pod
+        #: watch events; replaces the per-candidate ``list_pods`` scan in
+        #: ``_score``.  ``None`` under REPRO_PERF_DISABLE (the reference
+        #: scan runs instead).
+        self._owner_node_counts: Optional[Dict[tuple, int]] = \
+            {} if optimizations_enabled() else None
+        #: pod name -> (owner uid, node name) as last seen by the
+        #: tracker, so MODIFIED/DELETED events translate into exact
+        #: count deltas.
+        self._pod_placement: Dict[str, tuple] = {}
+        #: Key interning for the two caches above.  The natural keys are
+        #: tuples of dataclasses (resource request, selector, owner),
+        #: whose ``__hash__``/``__eq__`` are expensive enough to show up
+        #: when evaluated once per (pod, node); interning them to small
+        #: ints once per *attempt* makes every per-node cache lookup
+        #: hash an int instead.
+        self._shape_ids: Dict[tuple, int] = {}
+        self._score_key_ids: Dict[tuple, int] = {}
+        #: Round-robin start position for sampled filtering, as in
+        #: upstream k8s' ``lastScoredNodeIndex``: successive pods start
+        #: their feasibility scan at different cluster offsets so the
+        #: sample window rotates instead of hammering the same prefix.
+        self.last_scored_node_index = 0
         #: Full predicate evaluations vs verdicts served from the cache —
         #: the quantities BENCH_sched.json tracks.
         self.filter_evals = 0
         self.filter_cache_hits = 0
+        #: Full score computations vs cached scores; same contract.
+        self.score_evals = 0
+        self.score_cache_hits = 0
+        #: Nodes examined by the feasibility scan (feasible or not) —
+        #: the quantity sampling shrinks.
+        self.nodes_examined = 0
         api.subscribe("pods", self._on_pod_change)
         api.subscribe("pvcs", self._on_pvc_change)
         api.subscribe("nodes", self._on_node_change)
@@ -132,6 +185,8 @@ class Scheduler:
     # -- queue management -------------------------------------------------------
 
     def _on_pod_change(self, verb: str, pod: Pod) -> None:
+        if self._owner_node_counts is not None:
+            self._track_placement(verb, pod)
         if verb != ADDED:
             return
         if pod.phase != PENDING or pod.node_name is not None:
@@ -156,6 +211,43 @@ class Scheduler:
             entry.pod_names.append(pod.name)
         self.kick()
 
+    def _track_placement(self, verb: str, pod: Pod) -> None:
+        """Maintain the (owner, node) count index from pod watch events.
+
+        Every store mutation emits a watch event (create ADDED, bind /
+        phase change MODIFIED, removal DELETED), so the index mirrors
+        ``len(api.list_pods(owner=o, node_name=n))`` exactly for owned
+        pods.  Owner-less pods are skipped: the reference ``_score``
+        never counts them.  A placement change also drops the node's
+        cached scores — the bind commit is the one same-owner-count
+        mutation ``reserve``/``release`` invalidation does not cover.
+        """
+        new = None
+        if verb != DELETED and pod.node_name is not None \
+                and pod.meta.owner is not None:
+            new = (pod.meta.owner, pod.node_name)
+        old = self._pod_placement.get(pod.name)
+        if old == new:
+            return
+        counts = self._owner_node_counts
+        if old is not None:
+            remaining = counts.get(old, 0) - 1
+            if remaining > 0:
+                counts[old] = remaining
+            else:
+                counts.pop(old, None)
+            self._invalidate_scores(old[1])
+        if new is None:
+            self._pod_placement.pop(pod.name, None)
+        else:
+            self._pod_placement[pod.name] = new
+            counts[new] = counts.get(new, 0) + 1
+            self._invalidate_scores(new[1])
+
+    def _invalidate_scores(self, node_name: str) -> None:
+        if self._score_cache is not None:
+            self._score_cache.pop(node_name, None)
+
     def _on_pvc_change(self, verb: str, pvc) -> None:
         if verb == "DELETED":
             self._pvc_deleted_at[pvc.name] = self.env.now
@@ -172,10 +264,12 @@ class Scheduler:
 
         Called whenever anything a predicate reads changes: the node's
         allocation (reserve/release) or the node object itself
-        (ready/cordon transitions via ``update_node``).
+        (ready/cordon transitions via ``update_node``).  Scores read
+        the allocation too, so the score cache rides the same path.
         """
         if self._feas_cache is not None:
             self._feas_cache.pop(node_name, None)
+        self._invalidate_scores(node_name)
 
     def kick(self) -> None:
         """Wake the scheduling loop (new pod, freed resources, bound PVC)."""
@@ -232,11 +326,39 @@ class Scheduler:
         pod = self._validate_queued_pod(name)
         if pod is None:
             return
-        nodes = self._feasible_nodes(pod)
-        if not nodes:
+        candidates = self._feasible_candidates(pod)
+        if not candidates:
             self._record_no_nodes(pod)
             return
-        best = max(nodes, key=lambda n: (self._score(pod, n), n))
+        # Highest (score, name) wins — the allocation fetched during the
+        # feasibility check is threaded through so scoring never
+        # re-resolves it.  Equivalent to max(nodes, key=...): node names
+        # are unique, so the key order is total.  The score-cache key is
+        # interned once per attempt and the cache-hit path is inlined:
+        # this loop runs once per (pod, candidate) and is the hottest
+        # code in the scheduler.
+        cache = self._score_cache
+        score_key = None if cache is None else self._score_key_id(pod)
+        hits = 0
+        best = None
+        best_key = None
+        for node_name, allocation in candidates:
+            if cache is not None:
+                per_node = cache.get(node_name)
+                if per_node is None:
+                    per_node = cache[node_name] = {}
+                score = per_node.get(score_key)
+                if score is None:
+                    score = self._score(pod, node_name, allocation)
+                    per_node[score_key] = score
+                else:
+                    hits += 1
+            else:
+                score = self._score(pod, node_name, allocation)
+            key = (score, node_name)
+            if best_key is None or key > best_key:
+                best, best_key = node_name, key
+        self.score_cache_hits += hits
         yield from self._bind_with_window([(pod, best)])
 
     def _validate_queued_pod(self, name: str) -> Optional[Pod]:
@@ -299,49 +421,163 @@ class Scheduler:
         return None
 
     def _feasible_nodes(self, pod: Pod) -> List[str]:
-        cache = self._feas_cache
-        if cache is None:
-            return [node.name for node in self.api.list_nodes()
-                    if self._node_fits(pod, node)]
+        """Feasible node names (the gang/BSA-facing view)."""
+        return [name for name, _allocation
+                in self._feasible_candidates(pod)]
+
+    def _nodes_to_find(self, total: int) -> int:
+        """How many feasible nodes one scheduling attempt collects.
+
+        Upstream k8s' percentage-of-nodes-to-score: exhaustive at 100,
+        otherwise ``max(min_feasible_nodes_to_find, pct% of the
+        cluster)``, never more than the cluster itself.
+        """
+        pct = self.config.percentage_of_nodes_to_score
+        if pct >= 100:
+            return total
+        wanted = max(self.config.min_feasible_nodes_to_find,
+                     total * pct // 100)
+        return min(wanted, total)
+
+    def _shape_id(self, pod: Pod) -> int:
+        """Interned feasibility-cache key: everything the predicates
+        read from the pod (resource request + sorted node selector)."""
         shape = (pod.spec.resources,
                  tuple(sorted(pod.spec.node_selector.items())))
-        feasible = []
-        for node in self.api.list_nodes():
-            per_node = cache.get(node.name)
-            if per_node is None:
-                per_node = cache[node.name] = {}
-            fits = per_node.get(shape)
-            if fits is None:
-                fits = per_node[shape] = self._node_fits(pod, node)
-            else:
-                self.filter_cache_hits += 1
-            if fits:
-                feasible.append(node.name)
-        return feasible
+        ids = self._shape_ids
+        sid = ids.get(shape)
+        if sid is None:
+            sid = ids[shape] = len(ids)
+        return sid
 
-    def _node_fits(self, pod: Pod, node) -> bool:
-        """One full predicate evaluation (the uncached reference path)."""
+    def _feasible_candidates(self, pod: Pod) -> List[tuple]:
+        """``(node name, allocation)`` pairs that pass the predicates.
+
+        Exhaustive mode (the default) scans every node in list order —
+        byte-identical to the pre-sampling scheduler.  Sampled mode
+        walks the node list cyclically from ``last_scored_node_index``
+        and stops at the first ``_nodes_to_find`` feasible nodes; the
+        cursor then advances past the examined window so successive
+        pods sample rotating slices of the cluster.
+
+        The pod's shape is interned once per attempt and the cache-hit
+        path is inlined: this loop runs once per (pod, node) and
+        dominates exhaustive-mode wall-clock.
+        """
+        nodes = self.api.list_nodes()
+        total = len(nodes)
+        limit = self._nodes_to_find(total)
+        cache = self._feas_cache
+        shape = None if cache is None else self._shape_id(pod)
+        allocation_of = self.cluster.allocation
+        candidates: List[tuple] = []
+        if limit >= total:
+            if cache is None:
+                self.nodes_examined += total
+                for node in nodes:
+                    allocation = self._node_fits(pod, node)
+                    if allocation is not None:
+                        candidates.append((node.name, allocation))
+                return candidates
+            hits = 0
+            for node in nodes:
+                name = node.name
+                per_node = cache.get(name)
+                if per_node is None:
+                    per_node = cache[name] = {}
+                fits = per_node.get(shape)
+                if fits is None:
+                    allocation = self._node_fits(pod, node)
+                    per_node[shape] = allocation is not None
+                    if allocation is not None:
+                        candidates.append((name, allocation))
+                elif fits:
+                    hits += 1
+                    candidates.append((name, allocation_of(name)))
+                else:
+                    hits += 1
+            self.nodes_examined += total
+            self.filter_cache_hits += hits
+            return candidates
+        start = self.last_scored_node_index % total
+        examined = 0
+        hits = 0
+        for offset in range(total):
+            node = nodes[(start + offset) % total]
+            examined += 1
+            if cache is None:
+                allocation = self._node_fits(pod, node)
+            else:
+                name = node.name
+                per_node = cache.get(name)
+                if per_node is None:
+                    per_node = cache[name] = {}
+                fits = per_node.get(shape)
+                if fits is None:
+                    allocation = self._node_fits(pod, node)
+                    per_node[shape] = allocation is not None
+                else:
+                    hits += 1
+                    allocation = allocation_of(name) if fits else None
+            if allocation is not None:
+                candidates.append((node.name, allocation))
+                if len(candidates) >= limit:
+                    break
+        self.last_scored_node_index = (start + examined) % total
+        self.nodes_examined += examined
+        self.filter_cache_hits += hits
+        return candidates
+
+    def _node_fits(self, pod: Pod, node) -> Optional["NodeAllocation"]:
+        """One full predicate evaluation (the uncached reference path).
+
+        Returns the allocation on fit (so callers reuse the lookup),
+        ``None`` otherwise.
+        """
         self.filter_evals += 1
         if not node.is_ready:
-            return False
+            return None
         if not self._selector_matches(pod, node):
-            return False
-        return self.cluster.allocation(node.name).fits(pod.spec.resources)
+            return None
+        allocation = self.cluster.allocation(node.name)
+        return allocation if allocation.fits(pod.spec.resources) else None
 
     def _selector_matches(self, pod: Pod, node) -> bool:
         return all(node.meta.labels.get(k) == v
                    for k, v in pod.spec.node_selector.items())
 
-    def _score(self, pod: Pod, node_name: str) -> float:
-        allocation = self.cluster.allocation(node_name)
+    def _score_key_id(self, pod: Pod) -> int:
+        """Interned score-cache key: everything ``score_node`` reads
+        from the pod (resource request + owner)."""
+        key = (pod.spec.resources, pod.meta.owner)
+        ids = self._score_key_ids
+        kid = ids.get(key)
+        if kid is None:
+            kid = ids[key] = len(ids)
+        return kid
+
+    def _score(self, pod: Pod, node_name: str, allocation) -> float:
+        """Priority of one candidate node for one pod (uncached).
+
+        Optimized mode counts same-owner pods from the maintained
+        (owner, node) index; the reference path recomputes from a full
+        pod-store scan.  Both must produce identical scores, which the
+        equivalence suite asserts.  Caching (per-node, keyed by the
+        interned pod score key) lives in ``_attempt_pod``.
+        """
+        self.score_evals += 1
         same_owner = 0
         if pod.meta.owner is not None:
-            same_owner = sum(
-                1 for other in self.api.list_pods(owner=pod.meta.owner,
-                                                  node_name=node_name)
-                if other.name != pod.name)
-        return score_node(self.config.policy, pod, node_name, allocation,
-                          same_owner)
+            counts = self._owner_node_counts
+            if counts is None:
+                same_owner = sum(
+                    1 for other in self.api.list_pods(owner=pod.meta.owner,  # staticcheck: ignore[PERF003] reference path under REPRO_PERF_DISABLE; optimized mode reads the maintained (owner, node) index
+                                                      node_name=node_name)
+                    if other.name != pod.name)
+            else:
+                same_owner = counts.get((pod.meta.owner, node_name), 0)
+        return score_node(self.config.policy, pod, node_name,
+                          allocation, same_owner)
 
     def _bind_with_window(self, placements) -> None:
         """Reserve resources, wait out the binding API round-trip, then

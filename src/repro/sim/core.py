@@ -270,6 +270,23 @@ class Environment:
     observable results change under a perturbed seed depends on
     tie-breaking, which is a modelling bug; ``repro.chaos`` uses
     exactly this to assert schedule-independence (see ``--perturb``).
+
+    **Timer wheel (flag-gated fast path).**  Settle-then-drain patterns
+    (the federation bus, barrier rounds, submission bursts) schedule
+    hundreds of events at the *same* ``(time, priority)`` instant, so
+    the main heap degenerates into K pushes of log N for one burst.
+    The optimized queue is a *heap of buckets*: the outer heap holds
+    one entry per distinct ``(time, priority)`` key, and each bucket
+    is an inner heap of ``(seq, event)`` pairs.  A burst of K
+    same-instant events costs one outer push plus K cheap inner pushes
+    over a K-sized bucket.  Ordering is unchanged: the outer heap
+    yields the minimal ``(time, priority)`` and the bucket heap yields
+    its minimal ``seq`` — together exactly the global ``(time,
+    priority, seq)`` order, mixer included (permuted ``seq`` values
+    land in the same bucket and the inner heap sorts them).
+    ``heap_pushes`` counts outer-heap pushes — the BENCH_kernel metric
+    the wheel shrinks; under ``REPRO_PERF_DISABLE`` every event is its
+    own outer entry and ``heap_pushes == events_scheduled``.
     """
 
     #: Permuted sequence numbers live in [0, 2**61).
@@ -302,6 +319,19 @@ class Environment:
         #: event), deterministic, and the basis of BENCH_kernel.json.
         self.events_scheduled = 0
         self.events_processed = 0
+        #: Outer-heap pushes; with the timer wheel on, same-instant
+        #: bursts share one outer entry so this falls below
+        #: ``events_scheduled``.
+        self.heap_pushes = 0
+        #: Scheduled-but-not-yet-processed events.  With the wheel on,
+        #: ``len(_queue)`` counts buckets, so the profiler's peak-heap
+        #: statistic reads this mode-independent counter instead.
+        self._pending = 0
+        #: (time, priority) -> bucket (inner heap of (seq, event));
+        #: None when REPRO_PERF_DISABLE is set (plain one-event-per-
+        #: entry heap).
+        self._buckets: Optional[dict] = \
+            {} if optimizations_enabled() else None
         #: Callback-list free pool; None when REPRO_PERF_DISABLE is set
         #: (Event.__init__ then always allocates fresh lists).
         self._cb_pool: Optional[list] = \
@@ -363,11 +393,27 @@ class Environment:
         if self.race_detector is not None:
             # Send edge: stamp the event with the sender's clock.
             self.race_detector.on_send(event)
+        self.events_scheduled += 1
+        self._pending += 1
         if self._profiler is not None:
             self._profiler.on_schedule(event)
-        self.events_scheduled += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, seq, event))
+        when = self._now + delay
+        buckets = self._buckets
+        if buckets is None:
+            self.heap_pushes += 1
+            heapq.heappush(self._queue, (when, priority, seq, event))
+            return
+        key = (when, priority)
+        bucket = buckets.get(key)
+        if bucket is None:
+            # First event at this instant: open the bucket and push one
+            # outer entry carrying it.  Later same-instant arrivals
+            # join the bucket without touching the outer heap.
+            buckets[key] = [(seq, event)]
+            self.heap_pushes += 1
+            heapq.heappush(self._queue, (when, priority, seq, buckets[key]))
+        else:
+            heapq.heappush(bucket, (seq, event))
 
     def event(self) -> Event:
         return Event(self)
@@ -391,10 +437,21 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if self._buckets is None:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        else:
+            # The top outer entry's bucket holds every event at the
+            # minimal (time, priority); its inner heap yields the
+            # smallest seq — the exact (time, priority, seq) order.
+            when, prio, _seq, bucket = self._queue[0]
+            event = heapq.heappop(bucket)[1]
+            if not bucket:
+                heapq.heappop(self._queue)
+                del self._buckets[(when, prio)]
         if when < self._now - 1e-12:
             raise SimulationError("time went backwards")
         self._now = max(self._now, when)
+        self._pending -= 1
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
         self.events_processed += 1

@@ -56,6 +56,10 @@ RULE_CATALOG = {
     "PERF002": ("notify/emit hot path calls a helper that transitively "
                 "performs a linear watcher/listener scan; every "
                 "notification pays O(all subscribers) in the callee"),
+    "PERF003": ("full-store scan (list_*/store .values()) inside a "
+                "scoring or priority hot path; every decision pays "
+                "O(candidates x store) — maintain an incremental index "
+                "instead"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
 }
@@ -233,6 +237,22 @@ RULE_EXPLANATIONS = {
         "def _notify(self, event):\n"
         "    for w in self._index.matching(event.key):\n"
         "        w.deliver(event)",
+    ),
+    "PERF003": (
+        "Scoring and priority functions run once per *candidate* per "
+        "decision — the hottest multiplier in a scheduler.  A "
+        "``list_*`` call or store ``.values()`` scan there makes every "
+        "decision cost O(candidates x store size), which is what "
+        "sampling and caching cannot fix from the outside.  Maintain "
+        "the needed count as an incremental index updated from watch "
+        "events and read it in O(1); a reference path that must scan "
+        "(e.g. under a perf-disable flag) gets a reasoned suppression.",
+        "def _score(self, pod, node):\n"
+        "    peers = self.api.list_pods(owner=pod.owner)\n"
+        "    return pack_score(node, len(peers))",
+        "def _score(self, pod, node):\n"
+        "    peers = self._owner_counts.get((pod.owner, node), 0)\n"
+        "    return pack_score(node, peers)",
     ),
     "SUP001": (
         "An unexplained suppression is silent drift: nobody can tell "

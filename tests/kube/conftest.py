@@ -19,9 +19,11 @@ LEARNER_IMAGE = Image("learner", framework="tensorflow", size_bytes=1e6)
 
 
 def make_cluster(policy="pack", gang=False, nodes=2, gpus_per_node=4,
-                 gpu_type="K80", seed=0, **cluster_kwargs):
+                 gpu_type="K80", seed=0, config_kwargs=None,
+                 **cluster_kwargs):
     env = Environment()
-    config = SchedulerConfig(policy=policy, gang=gang)
+    config = SchedulerConfig(policy=policy, gang=gang,
+                             **(config_kwargs or {}))
     cluster = Cluster(env, RngRegistry(seed), config, **cluster_kwargs)
     cluster.push_image(LEARNER_IMAGE)
     cluster.add_nodes(nodes, NodeCapacity(cpus=32, memory_gb=256,

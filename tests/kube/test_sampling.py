@@ -1,0 +1,283 @@
+"""Sampled node scoring: knob math, cursor rotation, index exactness,
+and the declared quality envelopes.
+
+``percentage_of_nodes_to_score=100`` (the default) is exhaustive and
+byte-identical to the pre-sampling scheduler — that contract is pinned
+by the perf equivalence suite and the BENCH state digests.  These tests
+cover the sampled mode itself: the ``_nodes_to_find`` arithmetic, the
+round-robin cursor, the incrementally-maintained (owner, node) count
+index, and the placement-quality envelopes (fragmentation, gang wait)
+at 50% and 5% sampling.
+"""
+
+from repro.kube.api import KubeAPI
+from repro.kube.objects import Node, NodeCapacity, ObjectMeta
+from repro.sim import Environment
+
+from tests.kube.conftest import make_cluster, make_pod
+
+
+def _submit_and_run(env, cluster, pods):
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run()
+
+
+# -- knob arithmetic --------------------------------------------------------
+
+
+def test_default_config_is_exhaustive():
+    env, cluster = make_cluster(nodes=3)
+    scheduler = cluster.scheduler
+    assert scheduler.config.percentage_of_nodes_to_score == 100
+    assert scheduler._nodes_to_find(1000) == 1000
+
+
+def test_nodes_to_find_percentage_and_floor():
+    env, cluster = make_cluster(
+        nodes=2, config_kwargs={"percentage_of_nodes_to_score": 5,
+                                "min_feasible_nodes_to_find": 100})
+    scheduler = cluster.scheduler
+    # 5% of 1000 = 50 < the floor of 100.
+    assert scheduler._nodes_to_find(1000) == 100
+    # 5% of 10000 = 500 > the floor.
+    assert scheduler._nodes_to_find(10000) == 500
+    # Never more than the cluster itself.
+    assert scheduler._nodes_to_find(60) == 60
+
+
+def test_nodes_to_find_fifty_percent():
+    env, cluster = make_cluster(
+        nodes=2, config_kwargs={"percentage_of_nodes_to_score": 50,
+                                "min_feasible_nodes_to_find": 2})
+    assert cluster.scheduler._nodes_to_find(20) == 10
+
+
+# -- round-robin cursor -----------------------------------------------------
+
+
+def test_sampled_cursor_rotates_across_attempts():
+    """Successive pods start their feasibility scan where the previous
+    one stopped, so the sample window walks the whole cluster instead
+    of hammering one prefix."""
+    env, cluster = make_cluster(
+        nodes=12, gpus_per_node=4,
+        config_kwargs={"percentage_of_nodes_to_score": 5,
+                       "min_feasible_nodes_to_find": 2,
+                       "nondeterministic_order": False})
+    pods = [make_pod(env, f"p{i}", gpus=1, duration=500.0)
+            for i in range(8)]
+    _submit_and_run(env, cluster, pods)
+    assert cluster.scheduler.pods_scheduled == 8
+    placed_on = {pod.node_name for pod in pods}
+    # Exhaustive pack scoring would pile everything onto a couple of
+    # nodes; the rotating two-node window must spread further.
+    assert len(placed_on) >= 4
+    # The cursor ended somewhere inside the ring, and far fewer nodes
+    # were examined than 8 pods x 12 nodes exhaustive.
+    assert 0 <= cluster.scheduler.last_scored_node_index < 12
+    assert cluster.scheduler.nodes_examined < 8 * 12
+
+
+def test_exhaustive_mode_examines_every_node():
+    env, cluster = make_cluster(nodes=5, gpus_per_node=4)
+    pods = [make_pod(env, f"p{i}", gpus=1, duration=500.0)
+            for i in range(3)]
+    _submit_and_run(env, cluster, pods)
+    assert cluster.scheduler.pods_scheduled == 3
+    assert cluster.scheduler.nodes_examined == 3 * 5
+
+
+# -- (owner, node) count index ----------------------------------------------
+
+
+def _recount(api):
+    counts = {}
+    for pod in api.list_pods():
+        if pod.meta.owner is not None and pod.node_name is not None:
+            key = (pod.meta.owner, pod.node_name)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def test_owner_node_index_tracks_bind_and_delete():
+    env, cluster = make_cluster(nodes=2, gpus_per_node=8)
+    scheduler = cluster.scheduler
+    if scheduler._owner_node_counts is None:
+        return  # REPRO_PERF_DISABLE: the reference scan runs instead
+    pods = []
+    for i in range(6):
+        pod = make_pod(env, f"owned-{i}", gpus=1, duration=300.0)
+        pod.meta.owner = f"set-{i % 2}"
+        pods.append(pod)
+        cluster.api.create_pod(pod)
+    env.run(until=50.0)
+    assert scheduler.pods_scheduled == 6
+    assert scheduler._owner_node_counts == _recount(cluster.api)
+    # Deleting pods must decrement the exact (owner, node) pairs.
+    cluster.delete_pod("owned-0")
+    cluster.delete_pod("owned-3")
+    env.run(until=100.0)
+    assert scheduler._owner_node_counts == _recount(cluster.api)
+
+
+def test_owner_index_ignores_ownerless_pods():
+    env, cluster = make_cluster(nodes=2, gpus_per_node=8)
+    scheduler = cluster.scheduler
+    if scheduler._owner_node_counts is None:
+        return
+    pods = [make_pod(env, f"p{i}", gpus=1, duration=300.0)
+            for i in range(4)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=50.0)
+    assert scheduler.pods_scheduled == 4
+    # The reference ``_score`` never counts owner-less pods, so the
+    # index must not either.
+    assert scheduler._owner_node_counts == {}
+
+
+def test_owner_index_scores_match_reference_scan():
+    """The optimized same-owner count must equal what the reference
+    ``list_pods`` scan would have returned, pod for pod."""
+    env, cluster = make_cluster(policy="spread", nodes=3, gpus_per_node=8)
+    scheduler = cluster.scheduler
+    if scheduler._owner_node_counts is None:
+        return
+    for i in range(9):
+        pod = make_pod(env, f"rep-{i}", gpus=1, duration=300.0)
+        pod.meta.owner = "replicaset-a"
+        cluster.api.create_pod(pod)
+    env.run(until=50.0)
+    assert scheduler.pods_scheduled == 9
+    api = cluster.api
+    for (owner, node), count in scheduler._owner_node_counts.items():
+        assert count == len(api.list_pods(owner=owner, node_name=node))
+
+
+# -- score-cache invalidation ----------------------------------------------
+
+
+def test_score_cache_dropped_when_allocation_changes():
+    env, cluster = make_cluster(nodes=2, gpus_per_node=8)
+    scheduler = cluster.scheduler
+    if scheduler._score_cache is None:
+        return
+    pod = make_pod(env, "warm", gpus=1, duration=300.0)
+    _submit_and_run(env, cluster, [pod])
+    assert scheduler.pods_scheduled == 1
+    # Binding reserved resources on the chosen node, so its cached
+    # scores (computed pre-bind) must be gone; stale entries would
+    # misrank the next pod.
+    assert pod.node_name not in scheduler._score_cache
+
+
+def test_node_event_invalidates_scores():
+    env, cluster = make_cluster(nodes=2, gpus_per_node=8)
+    scheduler = cluster.scheduler
+    if scheduler._score_cache is None:
+        return
+    scheduler._score_cache["node-K80-0"] = {0: 1.0}
+    node = cluster.api.get_node("node-K80-0")
+    cluster.api.update_node(node)
+    assert "node-K80-0" not in scheduler._score_cache
+
+
+# -- node-indexed kubelet fanout -------------------------------------------
+
+
+def test_pod_events_reach_only_the_matching_nodes_kubelet():
+    env = Environment()
+    api = KubeAPI(env)
+    seen = []
+    api.subscribe("pods", lambda verb, pod: seen.append(("general", verb)))
+    api.subscribe_pods_for_node(
+        "n1", lambda verb, pod: seen.append(("n1", verb)))
+    api.subscribe_pods_for_node(
+        "n2", lambda verb, pod: seen.append(("n2", verb)))
+    api.create_node(Node(meta=ObjectMeta(name="n1"),
+                         capacity=NodeCapacity(cpus=1, memory_gb=1)))
+    pod = make_pod(env, "p0", gpus=0)
+    api.create_pod(pod)          # unbound: general only
+    api.bind_pod(pod, "n1")      # bound: general + n1
+    api.delete_pod("p0")         # still carries node_name=n1
+    general = [entry for entry in seen if entry[0] == "general"]
+    assert [verb for _, verb in general] == \
+        ["ADDED", "MODIFIED", "DELETED"]
+    n1 = [entry for entry in seen if entry[0] == "n1"]
+    n2 = [entry for entry in seen if entry[0] == "n2"]
+    if api._pod_node_listeners is not None:
+        assert [verb for _, verb in n1] == ["MODIFIED", "DELETED"]
+        assert n2 == []
+    else:
+        # Reference mode: full fanout, listeners self-filter.
+        assert len(n1) == len(n2) == 3
+
+
+# -- sampled-mode quality envelopes ----------------------------------------
+
+
+def _fragmentation(cluster):
+    occupied = partial = 0
+    for allocation in cluster.allocations.values():
+        if allocation.free_gpus < allocation.capacity.gpus:
+            occupied += 1
+            if allocation.free_gpus > 0:
+                partial += 1
+    return partial / occupied if occupied else 0.0
+
+
+def _run_quality(pct):
+    env, cluster = make_cluster(
+        nodes=20, gpus_per_node=4,
+        config_kwargs={"percentage_of_nodes_to_score": pct,
+                       "min_feasible_nodes_to_find": 2,
+                       "nondeterministic_order": False})
+    pods = [make_pod(env, f"q{i}", gpus=1 + (i % 2), duration=5000.0)
+            for i in range(40)]
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=200.0)
+    assert cluster.scheduler.pods_scheduled == 40
+    waits = [pod.scheduled_at - pod.meta.creation_time for pod in pods]
+    return _fragmentation(cluster), sum(waits) / len(waits)
+
+
+def test_sampled_quality_within_declared_envelopes():
+    """Fragmentation may grow by at most +0.5 and mean wait by at most
+    +0.25s versus exhaustive — the same envelopes the BENCH harness
+    enforces (QUALITY_BOUNDS)."""
+    frag_100, wait_100 = _run_quality(100)
+    for pct in (50, 5):
+        frag, wait = _run_quality(pct)
+        assert frag <= frag_100 + 0.50, f"pct={pct}"
+        assert wait <= wait_100 + 0.25, f"pct={pct}"
+
+
+def _run_gang_quality(pct):
+    env, cluster = make_cluster(
+        gang=True, nodes=20, gpus_per_node=4,
+        config_kwargs={"percentage_of_nodes_to_score": pct,
+                       "min_feasible_nodes_to_find": 2,
+                       "nondeterministic_order": False})
+    pods = []
+    for g in range(6):
+        for m in range(4):
+            pods.append(make_pod(env, f"g{g}-m{m}", gpus=1,
+                                 duration=5000.0,
+                                 gang_name=f"gang-{g}", gang_size=4))
+    for pod in pods:
+        cluster.api.create_pod(pod)
+    env.run(until=200.0)
+    assert cluster.scheduler.pods_scheduled == 24
+    waits = [pod.scheduled_at - pod.meta.creation_time for pod in pods]
+    return sum(waits) / len(waits)
+
+
+def test_sampled_gang_wait_within_declared_envelope():
+    """Gang placement under sampling must not stall: BSA still sees
+    enough feasible nodes per member to place whole gangs promptly."""
+    wait_100 = _run_gang_quality(100)
+    for pct in (50, 5):
+        wait = _run_gang_quality(pct)
+        assert wait <= wait_100 + 1.0, f"pct={pct}"

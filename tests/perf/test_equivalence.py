@@ -102,3 +102,31 @@ def test_chaos_run_is_mode_independent(monkeypatch, scenario):
     assert report_opt.end_state() == report_base.end_state()
     assert report_opt.counters == report_base.counters
     assert rng_opt == rng_base
+
+
+@pytest.mark.parametrize("scenario", [ETCD_MONGO, NODE_FAILURE],
+                         ids=lambda s: s.name)
+@pytest.mark.parametrize("tiebreak_seed", [977, 1301])
+def test_chaos_equivalence_holds_under_perturbation(monkeypatch, scenario,
+                                                    tiebreak_seed):
+    """The exhaustive-default scheduler (plus owner index, score cache,
+    timer wheel, node-indexed fanout) stays byte-identical to the
+    reference implementations under perturbed same-instant tie-breaks —
+    the --perturb property, applied across the mode boundary.  Any fast
+    path that silently depended on heap pop order, listener scan order,
+    or store scan order fails here."""
+    def build_and_run():
+        engine = ChaosEngine(scenario, seed=7,
+                             tiebreak_seed=tiebreak_seed)
+        report = engine.run()
+        rng_probe = [engine.platform.rng.stream(name).random()
+                     for name in ("scheduler", "chaos:arrivals",
+                                  "learner-setup")]
+        return report, rng_probe
+
+    (report_opt, rng_opt), (report_base, rng_base) = run_both(
+        monkeypatch, build_and_run)
+    assert report_opt.audit_lines == report_base.audit_lines
+    assert report_opt.end_state() == report_base.end_state()
+    assert report_opt.counters == report_base.counters
+    assert rng_opt == rng_base

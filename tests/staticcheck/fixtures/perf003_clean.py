@@ -1,0 +1,29 @@
+# staticcheck: fixture
+"""PERF003 clean corpus: indexed scoring and non-hot-path scans."""
+
+
+class Scheduler:
+    def __init__(self, api):
+        self.api = api
+        self._owner_counts = {}
+
+    def _score(self, pod, node_name):
+        # Incremental index maintained from watch events: O(1) read.
+        return self._owner_counts.get((pod.owner, node_name), 0)
+
+    def priority(self, pod, node):
+        return node.free_gpus - pod.gpus
+
+    def rebuild_index(self):
+        # Scanning the store outside a scoring path is fine:
+        # reconciliation runs rarely, scoring runs per candidate.
+        counts = {}
+        for pod in self.api.list_pods():
+            key = (pod.owner, pod.node_name)
+            counts[key] = counts.get(key, 0) + 1
+        self._owner_counts = counts
+
+    def rank_nodes(self, pod, nodes):
+        # Iterating the *candidates* is the job; only store scans are
+        # the multiplier PERF003 flags.
+        return sorted(nodes, key=lambda n: self._score(pod, n.name))

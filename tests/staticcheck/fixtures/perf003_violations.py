@@ -1,0 +1,29 @@
+# staticcheck: fixture
+"""PERF003 corpus: full-store scans in scoring/priority hot paths."""
+
+
+class Scheduler:
+    def __init__(self, api):
+        self.api = api
+        self._stores = {"pods": {}}
+
+    def _score(self, pod, node_name):
+        peers = self.api.list_pods(owner=pod.owner)  # <- PERF003
+        return len([p for p in peers if p.node_name == node_name])
+
+    def priority(self, pod, node):
+        total = 0
+        for other in self._stores["pods"].values():  # <- PERF003
+            if other.node_name == node.name:
+                total += 1
+        return total
+
+    def rank_nodes(self, pod, nodes):
+        bound = self.api.list_pods(node_name=None)  # <- PERF003
+        return sorted(nodes, key=lambda n: len(bound))
+
+
+def score_candidates(store, candidates):
+    live = [obj for obj in store.items()  # <- PERF003
+            if obj.phase == "Running"]
+    return [(c, len(live)) for c in candidates]

@@ -33,6 +33,7 @@ VIOLATION_FIXTURES = {
     "saf001_path_violations.py": "SAF001",
     "perf001_violations.py": "PERF001",
     "perf002_violations.py": "PERF002",
+    "perf003_violations.py": "PERF003",
 }
 
 CLEAN_FIXTURES = [
@@ -46,6 +47,7 @@ CLEAN_FIXTURES = [
     "saf001_path_clean.py",
     "perf001_clean.py",
     "perf002_clean.py",
+    "perf003_clean.py",
 ]
 
 _MARKER_RE = re.compile(r"<-\s*([A-Z]+\d+)")

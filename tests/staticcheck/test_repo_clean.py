@@ -80,6 +80,10 @@ VIOLATIONS = {
             for w in watchers:
                 w.deliver(event)
     """,
+    "PERF003": """
+        def score(api, pod, node):
+            return len(api.list_pods(owner=pod.owner))
+    """,
     "CONC002": """
         class Registry:
             def elect(self, node):
