@@ -12,12 +12,8 @@ import argparse
 from typing import List, Optional
 
 from repro.chaos.engine import ChaosEngine
-from repro.chaos.federation import (
-    FEDERATION_SCENARIOS,
-    FederationChaosEngine,
-    get_federation_scenario,
-)
-from repro.chaos.scenarios import SCENARIOS, get_scenario
+from repro.chaos.federation import FederationChaosEngine
+from repro.chaos.registry import get_registered_scenario, scenario_registry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,26 +51,35 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for scenario in SCENARIOS.values():
-            print(f"{scenario.name}: {scenario.description}")
-        for scenario in FEDERATION_SCENARIOS.values():
-            print(f"{scenario.name}: [federation] {scenario.description}")
+        for entry in scenario_registry().values():
+            tag = "" if entry.kind == "chaos" \
+                else f"[{entry.kind}] "
+            print(f"{entry.name} ({entry.origins}): "
+                  f"{tag}{entry.description}")
         return 0
-    if args.scenario in FEDERATION_SCENARIOS:
-        scenario = get_federation_scenario(args.scenario)
-        engine_cls = FederationChaosEngine
-    else:
-        try:
-            scenario = get_scenario(args.scenario)
-        except KeyError as err:
-            print(err.args[0])
-            return 2
-        engine_cls = ChaosEngine
+    from repro.manifest import ManifestError
+
+    try:
+        entry = get_registered_scenario(args.scenario)
+        kind, scenario, compiled = entry.resolve()
+    except KeyError as err:
+        print(err.args[0])
+        return 2
+    except ManifestError as err:
+        print(err.render())
+        return 2
+    node_groups = compiled.node_groups or None \
+        if compiled is not None else None
 
     def run_once(tiebreak_seed: int):
-        return engine_cls(scenario, seed=args.seed,
-                          tiebreak_seed=tiebreak_seed,
-                          detect_races=args.detect_races).run()
+        if kind == "federation":
+            return FederationChaosEngine(
+                scenario, seed=args.seed, tiebreak_seed=tiebreak_seed,
+                detect_races=args.detect_races).run()
+        return ChaosEngine(scenario, seed=args.seed,
+                           tiebreak_seed=tiebreak_seed,
+                           detect_races=args.detect_races,
+                           node_groups=node_groups).run()
 
     report = run_once(args.tiebreak_seed)
     print(report.render(args.format, audit=not args.no_audit))

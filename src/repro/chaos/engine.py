@@ -18,7 +18,7 @@ audit log is identical across runs with the same seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import statuses as st
 from repro.core.manifest import JobManifest
@@ -84,6 +84,12 @@ class Scenario:
     jobs: int = 6
     job_interarrival_s: float = 20.0
     job_iterations: int = 150
+    #: Shape of each churn job (defaults match the historical engine
+    #: hard-coding, so existing scenarios are unchanged).
+    job_learners: int = 1
+    job_gpus_per_learner: int = 1
+    job_gpu_type: str = "K80"
+    job_memory_gb: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -243,7 +249,8 @@ class ChaosEngine:
     def __init__(self, scenario: Scenario, seed: int = 0,
                  config: Optional[PlatformConfig] = None,
                  gpu_nodes: int = 4, gpus_per_node: int = 4,
-                 tiebreak_seed: int = 0, detect_races: bool = False):
+                 tiebreak_seed: int = 0, detect_races: bool = False,
+                 node_groups: Optional[Sequence] = None):
         self.scenario = scenario
         self.seed = seed
         self.tiebreak_seed = tiebreak_seed
@@ -254,8 +261,19 @@ class ChaosEngine:
         self.rng = RngRegistry(seed)
         self.config = config or default_platform_config()
         self.platform = FfDLPlatform(self.env, self.rng, self.config)
-        self.platform.add_gpu_nodes(gpu_nodes, gpus_per_node=gpus_per_node,
-                                    gpu_type="K80")
+        if node_groups is None:
+            self.platform.add_gpu_nodes(gpu_nodes,
+                                        gpus_per_node=gpus_per_node,
+                                        gpu_type="K80")
+        else:
+            # Declarative topology (manifest-compiled): each group is
+            # any object with count/gpus_per_node/gpu_type/cpus/
+            # memory_gb attributes, e.g. repro.manifest NodeGroup.
+            for group in node_groups:
+                self.platform.add_gpu_nodes(
+                    group.count, gpus_per_node=group.gpus_per_node,
+                    gpu_type=group.gpu_type, cpus=group.cpus,
+                    memory_gb=group.memory_gb)
         self.platform.admission.register("chaos", gpu_quota=10 ** 6)
         self.injector = FaultInjector(self.env, self.rng)
         self.stream = self.rng.stream("chaos:arrivals")
@@ -466,8 +484,12 @@ class ChaosEngine:
         manifest = JobManifest(
             name=f"chaos-{index}", user="chaos", framework="tensorflow",
             model="resnet50", data_bucket=f"chaos-data-{index}",
-            result_bucket="chaos-results", learners=1, gpus_per_learner=1,
-            gpu_type="K80", iterations=self.scenario.job_iterations,
+            result_bucket="chaos-results",
+            learners=self.scenario.job_learners,
+            gpus_per_learner=self.scenario.job_gpus_per_learner,
+            gpu_type=self.scenario.job_gpu_type,
+            memory_gb_per_learner=self.scenario.job_memory_gb,
+            iterations=self.scenario.job_iterations,
             dataset_objects=2, dataset_object_bytes=32e6)
         try:
             job_id = yield self.platform.submit_job(manifest)

@@ -58,6 +58,8 @@ def manifest_from_args(args: argparse.Namespace) -> JobManifest:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
+    if args.scenario_manifest:
+        return _validate_scenario(args)
     manifest = manifest_from_args(args)
     manifest.validate()
     print(f"manifest OK: {manifest.learners} learner(s) x "
@@ -65,6 +67,50 @@ def cmd_validate(args: argparse.Namespace) -> int:
           f"{manifest.effective_cpus():.0f} CPUs / "
           f"{manifest.effective_memory_gb():.0f} GB per learner")
     return 0
+
+
+def _validate_scenario(args: argparse.Namespace) -> int:
+    """``repro validate <manifest.yaml> [--run]``: static MAN pass,
+    then (optionally) compile, run, and check declared hypotheses."""
+    from pathlib import Path
+
+    from repro.manifest import compile_manifest
+    from repro.staticcheck.manifest import analyze_manifest
+
+    path = Path(args.scenario_manifest)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return 2
+    display = path.as_posix()
+    findings, suppressed, _model = analyze_manifest(source, display)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{display}: {len(findings)} static finding(s)")
+        return 1
+    note = f" ({len(suppressed)} suppressed)" if suppressed else ""
+    print(f"{display}: static pass clean{note}")
+    if not args.run:
+        return 0
+
+    compiled = compile_manifest(source, display)
+    seed = args.seed if args.seed is not None \
+        else (compiled.seed_override or 0)
+    print(f"running {compiled.name} [{compiled.kind}] seed={seed} "
+          f"tiebreak={args.tiebreak_seed} ...")
+    report = compiled.run(seed=seed, tiebreak_seed=args.tiebreak_seed)
+    results = compiled.verify(report)
+    for result in results:
+        print(f"  check {result.name}: "
+              f"{'PASS' if result.ok else 'FAIL'} ({result.detail})")
+    ok = report.passed and all(result.ok for result in results)
+    print(f"{display}: run "
+          f"{'PASS' if ok else 'FAIL'} "
+          f"(engine hypotheses {'pass' if report.passed else 'FAIL'}, "
+          f"{len(results)} declared check(s))")
+    return 0 if ok else 1
 
 
 def cmd_show_tshirt_sizes(_args: argparse.Namespace) -> int:
@@ -119,8 +165,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--checkpoint", type=int, default=0,
                        help="checkpoint interval in iterations")
 
-    validate = sub.add_parser("validate",
-                              help="validate a job manifest")
+    validate = sub.add_parser(
+        "validate",
+        help="validate a job manifest, or statically lint (and "
+             "optionally run) a YAML scenario manifest")
+    validate.add_argument(
+        "scenario_manifest", nargs="?", default=None,
+        help="path to a YAML scenario manifest; when given, runs the "
+             "MAN static pass instead of JSON job-manifest validation")
+    validate.add_argument("--run", action="store_true",
+                          help="after a clean static pass, compile and "
+                               "run the scenario and check its "
+                               "declared hypotheses")
+    validate.add_argument("--seed", type=int, default=None,
+                          help="run seed (default: the manifest's "
+                               "workload.seed, else 0)")
+    validate.add_argument("--tiebreak-seed", dest="tiebreak_seed",
+                          type=int, default=0,
+                          help="heap tie-break permutation seed")
     add_manifest_args(validate)
     validate.set_defaults(fn=cmd_validate)
 

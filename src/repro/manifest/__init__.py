@@ -1,0 +1,60 @@
+"""Declarative scenario manifests.
+
+A scenario is a ~20-line YAML document (topology, workload, fault plan,
+run window, steady-state hypotheses) instead of a hand-written Python
+module.  The package splits into:
+
+* :mod:`repro.manifest.yamlpos` — position-aware YAML loading (every
+  value knows its line/column, so findings anchor precisely);
+* :mod:`repro.manifest.schema` — the schema field tables, the
+  hypothesis/counter catalogs, and the typed model;
+* :mod:`repro.manifest.compiler` — the MAN static pass followed by
+  lowering onto the existing :class:`~repro.chaos.engine.Scenario` /
+  :class:`~repro.chaos.federation.FederationScenario` dataclasses.
+
+The static analyzer itself lives with its rule family in
+:mod:`repro.staticcheck.manifest`; ``repro validate <manifest>`` is the
+CLI front-end (:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+from repro.manifest.compiler import (
+    CheckResult,
+    CompiledScenario,
+    ManifestError,
+    compile_manifest,
+    compile_manifest_file,
+    default_scenario_dir,
+    discover_manifests,
+)
+from repro.manifest.schema import (
+    CellBlock,
+    CounterAssertion,
+    FaultEntry,
+    ManifestModel,
+    NodeGroup,
+)
+from repro.manifest.yamlpos import (
+    YamlNode,
+    YamlPosError,
+    parse_manifest_source,
+)
+
+__all__ = [
+    "CellBlock",
+    "CheckResult",
+    "CompiledScenario",
+    "CounterAssertion",
+    "FaultEntry",
+    "ManifestError",
+    "ManifestModel",
+    "NodeGroup",
+    "YamlNode",
+    "YamlPosError",
+    "compile_manifest",
+    "compile_manifest_file",
+    "default_scenario_dir",
+    "discover_manifests",
+    "parse_manifest_source",
+]

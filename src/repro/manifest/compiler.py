@@ -1,0 +1,295 @@
+"""Lowering a validated manifest into the existing chaos engines.
+
+``compile_manifest`` runs the MAN static pass first (so a manifest that
+would lower into nonsense is rejected with file:line:column findings,
+never a mid-run crash), then lowers the typed model into the exact
+dataclasses the hand-written scenarios use:
+
+* ``kind: chaos`` → :class:`repro.chaos.engine.Scenario` plus the
+  declarative node groups the engine provisions;
+* ``kind: federation`` → :class:`repro.chaos.federation.FederationScenario`.
+
+Because the lowering targets the same frozen dataclasses, a ported
+manifest compiles to an object *equal* to its hand-written twin — which
+is what makes the byte-identical regression tests in
+``tests/manifest/test_parity.py`` possible: equal scenario in, equal
+audit log and end state out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import yaml
+
+from repro.manifest.schema import (
+    CounterAssertion,
+    ManifestModel,
+    NodeGroup,
+)
+
+
+class ManifestError(Exception):
+    """Manifest failed the static pass (or cannot be read)."""
+
+    def __init__(self, message: str, findings: Optional[list] = None):
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+    def render(self) -> str:
+        lines = [str(self)]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One declared-hypothesis or counter-assertion verdict."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class CompiledScenario:
+    """One manifest lowered onto the engine dataclasses."""
+
+    kind: str                     # "chaos" | "federation"
+    name: str
+    scenario: object              # Scenario | FederationScenario
+    node_groups: Tuple[NodeGroup, ...] = ()
+    checks: Tuple[str, ...] = ()
+    counter_assertions: Tuple[CounterAssertion, ...] = ()
+    #: ``workload.seed`` when it was a literal integer.
+    seed_override: Optional[int] = None
+    source_path: str = "<manifest>"
+
+    def build_engine(self, seed: int = 0, tiebreak_seed: int = 0,
+                     detect_races: bool = False):
+        """A fresh single-use engine for one run of this scenario."""
+        if self.kind == "chaos":
+            from repro.chaos.engine import ChaosEngine
+            return ChaosEngine(self.scenario, seed=seed,
+                               tiebreak_seed=tiebreak_seed,
+                               detect_races=detect_races,
+                               node_groups=self.node_groups or None)
+        from repro.chaos.federation import FederationChaosEngine
+        return FederationChaosEngine(self.scenario, seed=seed,
+                                     tiebreak_seed=tiebreak_seed,
+                                     detect_races=detect_races)
+
+    def run(self, seed: int = 0, tiebreak_seed: int = 0,
+            detect_races: bool = False):
+        """Compile-and-go: one ChaosReport."""
+        return self.build_engine(seed=seed, tiebreak_seed=tiebreak_seed,
+                                 detect_races=detect_races).run()
+
+    def verify(self, report) -> List[CheckResult]:
+        """Evaluate the declared hypotheses and counter assertions
+        against a finished run's report."""
+        results: List[CheckResult] = []
+        final = {h.name: h for h in report.hypotheses
+                 if h.phase == "steady-state:after"}
+        for name in self.checks:
+            hypothesis = final.get(name)
+            if hypothesis is None:
+                results.append(CheckResult(
+                    name, False, "hypothesis never evaluated"))
+            else:
+                results.append(CheckResult(
+                    name, hypothesis.ok, hypothesis.detail))
+        for assertion in self.counter_assertions:
+            value = report.counters.get(assertion.name)
+            if value is None:
+                results.append(CheckResult(
+                    assertion.name, False,
+                    "counter absent from the report"))
+            else:
+                ok, detail = assertion.check(value)
+                results.append(CheckResult(assertion.name, ok, detail))
+        return results
+
+
+def _default(dataclass_type, name: str):
+    for spec in fields(dataclass_type):
+        if spec.name == name:
+            return spec.default
+    raise AttributeError(name)  # pragma: no cover - compiler bug
+
+
+def _lower_chaos(model: ManifestModel, path: str) -> CompiledScenario:
+    from repro.chaos.engine import InjectionStep, Scenario
+
+    workload = model.workload
+
+    def w(key: str, field_name: str, cast=None):
+        if key in workload:
+            value = workload[key]
+            return cast(value) if cast is not None else value
+        return _default(Scenario, field_name)
+
+    scenario = Scenario(
+        name=model.name,
+        description=model.description,
+        steps=tuple(InjectionStep(
+            at_s=entry.at_s, kind=entry.kind, target=entry.target,
+            duration_s=entry.duration_s, param=entry.param)
+            for entry in model.faults),
+        horizon_s=float(model.horizon_s)
+        if model.horizon_s is not None else _default(Scenario, "horizon_s"),
+        settle_s=float(model.settle_s)
+        if model.settle_s is not None else _default(Scenario, "settle_s"),
+        jobs=w("jobs", "jobs"),
+        job_interarrival_s=w("interarrival_s", "job_interarrival_s",
+                             float),
+        job_iterations=w("iterations", "job_iterations"),
+        job_learners=w("learners", "job_learners"),
+        job_gpus_per_learner=w("gpus_per_learner",
+                               "job_gpus_per_learner"),
+        job_gpu_type=w("gpu_type", "job_gpu_type"),
+        job_memory_gb=w("memory_gb_per_learner", "job_memory_gb"),
+    )
+    return CompiledScenario(
+        kind="chaos", name=model.name, scenario=scenario,
+        node_groups=model.node_groups, checks=model.checks,
+        counter_assertions=model.counter_assertions,
+        seed_override=model.seed_override, source_path=path)
+
+
+def _lower_federation(model: ManifestModel,
+                      path: str) -> CompiledScenario:
+    from repro.chaos.federation import (
+        CellDef,
+        FederationScenario,
+        FederationStep,
+    )
+
+    workload = model.workload
+
+    def w(key: str, field_name: str):
+        if key in workload:
+            return workload[key]
+        return _default(FederationScenario, field_name)
+
+    scenario = FederationScenario(
+        name=model.name,
+        description=model.description,
+        cells=tuple(CellDef(
+            name=cell.name, zone=cell.zone, gpu_nodes=cell.gpu_nodes,
+            gpus_per_node=cell.gpus_per_node, gpu_type=cell.gpu_type)
+            for cell in model.cells),
+        steps=tuple(FederationStep(
+            at_s=entry.at_s, kind=entry.kind, cell=entry.cell,
+            duration_s=entry.duration_s, param=entry.param)
+            for entry in model.faults),
+        horizon_s=float(model.horizon_s)
+        if model.horizon_s is not None
+        else _default(FederationScenario, "horizon_s"),
+        settle_s=float(model.settle_s)
+        if model.settle_s is not None
+        else _default(FederationScenario, "settle_s"),
+        jobs=w("jobs", "jobs"),
+        arrival_window_s=float(w("arrival_window_s",
+                                 "arrival_window_s")),
+        min_iterations=w("min_iterations", "min_iterations"),
+        max_iterations=w("max_iterations", "max_iterations"),
+        tenant_quota_gpus=w("tenant_quota_gpus", "tenant_quota_gpus"),
+    )
+    return CompiledScenario(
+        kind="federation", name=model.name, scenario=scenario,
+        checks=model.checks,
+        counter_assertions=model.counter_assertions,
+        seed_override=model.seed_override, source_path=path)
+
+
+def compile_manifest(source: str,
+                     display_path: str = "<manifest>",
+                     ) -> CompiledScenario:
+    """Static-check ``source`` and lower it.
+
+    Raises :class:`ManifestError` (carrying the findings) when the
+    static pass reports anything — a manifest must lint clean before it
+    is allowed anywhere near an engine.
+    """
+    from repro.staticcheck.manifest import analyze_manifest
+
+    findings, _suppressed, model = analyze_manifest(source, display_path)
+    if findings:
+        raise ManifestError(
+            f"{display_path}: {len(findings)} static finding(s); "
+            f"fix (or suppress with a reason) before running",
+            findings)
+    if model is None:  # empty document and similar degenerate shapes
+        raise ManifestError(f"{display_path}: not a scenario manifest")
+    if model.kind == "chaos":
+        return _lower_chaos(model, display_path)
+    return _lower_federation(model, display_path)
+
+
+def compile_manifest_file(path: Path) -> CompiledScenario:
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise ManifestError(f"cannot read {path}: {err}") from None
+    return compile_manifest(source, path.as_posix())
+
+
+# -- discovery ---------------------------------------------------------------
+
+def default_scenario_dir() -> Optional[Path]:
+    """The repo's ``scenarios/`` directory, if one can be found.
+
+    Tried in order: ``$REPRO_SCENARIO_DIR``, ``./scenarios``, and
+    ``scenarios/`` next to the source tree this package runs from.
+    """
+    import os
+
+    override = os.environ.get("REPRO_SCENARIO_DIR")
+    if override:
+        path = Path(override)
+        return path if path.is_dir() else None
+    cwd_dir = Path("scenarios")
+    if cwd_dir.is_dir():
+        return cwd_dir
+    import repro
+
+    repo_dir = Path(repro.__file__).resolve().parents[2] / "scenarios"
+    return repo_dir if repo_dir.is_dir() else None
+
+
+def discover_manifests(scenario_dir: Optional[Path] = None,
+                       ) -> Dict[str, Path]:
+    """``{scenario name: manifest path}`` for every manifest under the
+    scenario directory (sorted by file name; fixtures skipped).
+
+    Discovery is deliberately shallow and forgiving: it only reads the
+    ``name:`` field, so a broken manifest still *lists* (under its file
+    stem) and fails with findings when someone tries to run it.
+    """
+    directory = scenario_dir if scenario_dir is not None \
+        else default_scenario_dir()
+    if directory is None:
+        return {}
+    manifests: Dict[str, Path] = {}
+    for path in sorted(Path(directory).glob("*.yaml")) \
+            + sorted(Path(directory).glob("*.yml")):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if "# staticcheck: fixture" in source[:200]:
+            continue
+        name = path.stem
+        try:
+            document = yaml.safe_load(source)
+        except yaml.YAMLError:
+            document = None
+        if isinstance(document, dict) and \
+                isinstance(document.get("name"), str):
+            name = document["name"]
+        manifests[name] = path
+    return manifests

@@ -39,9 +39,15 @@ from repro.staticcheck.engine import (
     analyze_source,
     analyze_tree,
     default_target,
+    iter_manifest_files,
     iter_python_files,
 )
 from repro.staticcheck.findings import Finding, RULE_CATALOG
+from repro.staticcheck.manifest import (
+    MANIFEST_RULES,
+    analyze_manifest,
+    analyze_manifest_source,
+)
 from repro.staticcheck.interproc import (
     Project,
     Summary,
@@ -57,15 +63,19 @@ __all__ = [
     "AnalysisContext",
     "Finding",
     "KubeStateMachineChecker",
+    "MANIFEST_RULES",
     "Project",
     "RULE_CATALOG",
     "RaftInvariantChecker",
     "Summary",
+    "analyze_manifest",
+    "analyze_manifest_source",
     "analyze_paths",
     "analyze_project",
     "analyze_source",
     "analyze_tree",
     "build_project",
     "default_target",
+    "iter_manifest_files",
     "iter_python_files",
 ]

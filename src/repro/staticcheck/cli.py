@@ -65,13 +65,27 @@ def render_json(findings: List[Finding],
 
 def render_github(findings: List[Finding],
                   suppressed: List[Finding]) -> str:
-    """GitHub Actions workflow-command annotations, one per finding."""
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    Findings that know their column (the YAML manifest rules) carry a
+    ``col=`` property so the annotation lands on the exact token.
+    """
     lines = [f"::error file={f.path},line={f.line},"
-             f"title=staticcheck {f.code}::{f.message}"
+             + (f"col={f.column}," if f.column > 0 else "")
+             + f"title=staticcheck {f.code}::{f.message}"
              for f in findings]
     lines.append(f"{len(findings)} finding(s), "
                  f"{len(suppressed)} suppressed")
     return "\n".join(lines)
+
+
+def _sarif_region(finding: Finding) -> dict:
+    """Line (and, when known, column) anchor for one finding —
+    manifest findings point at the exact YAML token."""
+    region = {"startLine": max(finding.line, 1)}
+    if finding.column > 0:
+        region["startColumn"] = finding.column
+    return region
 
 
 def render_sarif(findings: List[Finding],
@@ -90,7 +104,7 @@ def render_sarif(findings: List[Finding],
         "locations": [{
             "physicalLocation": {
                 "artifactLocation": {"uri": f.path},
-                "region": {"startLine": max(f.line, 1)},
+                "region": _sarif_region(f),
             },
         }],
     } for f in findings]
@@ -102,7 +116,7 @@ def render_sarif(findings: List[Finding],
         "locations": [{
             "physicalLocation": {
                 "artifactLocation": {"uri": f.path},
-                "region": {"startLine": max(f.line, 1)},
+                "region": _sarif_region(f),
             },
         }],
     } for f in suppressed)

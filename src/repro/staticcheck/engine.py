@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.staticcheck.findings import Finding, RULE_CATALOG
+from repro.staticcheck.findings import Finding
 from repro.staticcheck.flowrules import FLOW_RULES
 from repro.staticcheck.interproc import (
     INTERPROC_RULES,
@@ -33,15 +33,22 @@ from repro.staticcheck.interproc import (
     Project,
     build_project,
 )
+from repro.staticcheck.manifest import (
+    MANIFEST_RULES,
+    analyze_manifest_source,
+)
 from repro.staticcheck.rules import SYNTACTIC_RULES, build_import_map
 from repro.staticcheck.suppress import (  # noqa: F401  (re-exported API)
     Suppression,
+    apply_suppressions,
     parse_suppressions,
 )
 
-#: Every rule — syntactic walkers, CFG flow rules, and the
-#: interprocedural rules backed by the project call graph.
-ALL_RULES = SYNTACTIC_RULES + FLOW_RULES + INTERPROC_RULES
+#: Every rule — syntactic walkers, CFG flow rules, the interprocedural
+#: rules backed by the project call graph, and the YAML manifest rules
+#: (which no-op on Python modules; see analyze_manifest_source).
+ALL_RULES = tuple(SYNTACTIC_RULES) + tuple(FLOW_RULES) \
+    + tuple(INTERPROC_RULES) + MANIFEST_RULES
 
 #: Module pragma marking a file as an analyzer *fixture*: a corpus file
 #: whose findings are asserted by the test suite, not repo defects.
@@ -68,26 +75,7 @@ def _check_module(ctx: AnalysisContext, source: str,
     raw: List[Finding] = []
     for rule in rules:
         raw.extend(rule.check(ctx))
-
-    suppressions = parse_suppressions(source)
-    by_line: Dict[int, Suppression] = {s.line: s for s in suppressions}
-    findings: List[Finding] = []
-    suppressed: List[Finding] = []
-    for finding in raw:
-        suppression = by_line.get(finding.line)
-        if suppression is not None and finding.code in suppression.codes \
-                and suppression.reason:
-            suppressed.append(finding)
-        else:
-            findings.append(finding)
-    for suppression in suppressions:
-        if not suppression.reason:
-            findings.append(Finding(
-                "SUP001", ctx.display_path, suppression.line,
-                RULE_CATALOG["SUP001"]))
-    findings.sort(key=Finding.sort_key)
-    suppressed.sort(key=Finding.sort_key)
-    return findings, suppressed
+    return apply_suppressions(raw, source, ctx.display_path)
 
 
 def analyze_source(source: str, display_path: str = "<string>",
@@ -124,16 +112,26 @@ def _is_fixture(source: str) -> bool:
 def iter_python_files(root: Path) -> List[Path]:
     """All ``.py`` files under ``root`` in a stable order."""
     if root.is_file():
-        return [root]
+        return [] if root.suffix in (".yaml", ".yml") else [root]
     return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def iter_manifest_files(root: Path) -> List[Path]:
+    """All YAML scenario manifests under ``root`` in a stable order."""
+    if root.is_file():
+        return [root] if root.suffix in (".yaml", ".yml") else []
+    return sorted(p for suffix in ("*.yaml", "*.yml")
+                  for p in root.rglob(suffix) if p.is_file())
 
 
 def _display(path: Path) -> str:
     """Repo-relative posix path when possible, else the path as given."""
     text = path.as_posix()
-    marker = "src/repro/"
-    index = text.rfind(marker)
-    return text[index:] if index >= 0 else text
+    for marker in ("src/repro/", "scenarios/"):
+        index = text.rfind(marker)
+        if index >= 0:
+            return text[index:]
+    return text
 
 
 def analyze_project(paths: Iterable[Path], rules: Sequence = ALL_RULES,
@@ -149,6 +147,17 @@ def analyze_project(paths: Iterable[Path], rules: Sequence = ALL_RULES,
     records: List[ModuleRecord] = []
     seen: set = set()
     for root in paths:
+        for path in iter_manifest_files(Path(root)):
+            display = _display(path)
+            if display in seen:
+                continue
+            seen.add(display)
+            source = path.read_text(encoding="utf-8")
+            if _is_fixture(source):
+                continue
+            got, hidden = analyze_manifest_source(source, display)
+            findings.extend(got)
+            suppressed.extend(hidden)
         for path in iter_python_files(Path(root)):
             display = _display(path)
             if display in seen:

@@ -60,6 +60,21 @@ RULE_CATALOG = {
                 "scoring or priority hot path; every decision pays "
                 "O(candidates x store) — maintain an incremental index "
                 "instead"),
+    "MAN001": ("manifest schema violation: unknown field, wrong type, "
+               "or missing required field in a scenario manifest"),
+    "MAN002": ("dangling manifest cross-reference: fault plan targets "
+               "an undeclared node/cell/scenario, or a hypothesis "
+               "names an unknown check or counter"),
+    "MAN003": ("statically infeasible manifest: declared workload "
+               "demand provably exceeds declared GPU/memory capacity "
+               "(bin-packing lower bound), or tenant quotas exceed "
+               "the global quota"),
+    "MAN004": ("manifest determinism hazard: unseeded trace/fault "
+               "section or absolute wall-clock timestamp in a "
+               "relative-time schedule"),
+    "MAN005": ("dead or shadowed manifest declaration: fault past the "
+               "run window or inside a blackout window of its own "
+               "target, duplicate key, unreferenced topology block"),
     "SUP001": ("staticcheck suppression without a reason; write "
                "# staticcheck: ignore[CODE] <why it is safe>"),
 }
@@ -254,6 +269,57 @@ RULE_EXPLANATIONS = {
         "    peers = self._owner_counts.get((pod.owner, node), 0)\n"
         "    return pack_score(node, peers)",
     ),
+    "MAN001": (
+        "A manifest field the compiler does not understand is a "
+        "scenario that silently runs something other than what was "
+        "declared — a typo'd 'interarival_s' would leave the default "
+        "in force.  The schema check rejects unknown fields, "
+        "mis-typed values, and missing required fields at the YAML "
+        "token that is wrong.",
+        "workload:\n  interarival_s: 20   # typo: default silently wins",
+        "workload:\n  interarrival_s: 20",
+    ),
+    "MAN002": (
+        "A fault plan aimed at a node the topology never provisions, "
+        "or a hypothesis naming a counter the report never carries, "
+        "makes the run a vacuous pass: nothing fires, nothing is "
+        "checked, and the scenario looks green.  Every cross-reference "
+        "(node/cell targets, use: scenario refs, hypothesis checks, "
+        "counter names) must resolve against a declaration.",
+        "faults:\n  - {at_s: 100, kind: node-crash, target: node-K80-9}",
+        "faults:\n  - {at_s: 100, kind: node-crash, target: node-K80-0}",
+    ),
+    "MAN003": (
+        "A gang that provably cannot fit the declared capacity queues "
+        "forever; the run then 'passes' by measuring an idle cluster. "
+        "A bin-packing lower bound (largest item vs largest bin, "
+        "total placeable learners) and quota-sum checks reject such "
+        "manifests before any sim event runs.",
+        "topology: {nodes: [{count: 1, gpus_per_node: 2, gpu_type: K80}]}\n"
+        "workload: {learners: 4, gpus_per_learner: 4}",
+        "topology: {nodes: [{count: 4, gpus_per_node: 4, gpu_type: K80}]}\n"
+        "workload: {learners: 4, gpus_per_learner: 4}",
+    ),
+    "MAN004": (
+        "Scenario runs must replay byte-identically from a seed.  A "
+        "trace or fault section seeded from the wall clock, or an "
+        "absolute timestamp in a schedule that is otherwise relative "
+        "seconds, couples the run to the host machine.",
+        "workload:\n  seed: wall-clock",
+        "workload:\n  seed: inherit   # derived from the run seed",
+    ),
+    "MAN005": (
+        "A fault scheduled after horizon+settle never fires; one "
+        "aimed inside a blackout window of its own target hits a "
+        "component that is already dark; a duplicate key or a "
+        "topology block nothing references is declared intent the "
+        "run silently ignores.  All four shapes are dead weight that "
+        "reads as coverage.",
+        "run: {horizon_s: 900, settle_s: 240}\n"
+        "faults:\n  - {at_s: 2000, kind: etcd-leader-kill}",
+        "run: {horizon_s: 900, settle_s: 240}\n"
+        "faults:\n  - {at_s: 600, kind: etcd-leader-kill}",
+    ),
     "SUP001": (
         "An unexplained suppression is silent drift: nobody can tell "
         "whether the ignored finding is safe or forgotten.",
@@ -265,19 +331,27 @@ RULE_EXPLANATIONS = {
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    ``column`` is 1-based and only populated by analyses that know it
+    (the YAML manifest rules); 0 means "line-only anchor", which is
+    what the Python AST rules report.
+    """
 
     code: str
     path: str
     line: int
     message: str
+    column: int = 0
 
     @property
     def location(self) -> str:
+        if self.column > 0:
+            return f"{self.path}:{self.line}:{self.column}"
         return f"{self.path}:{self.line}"
 
     def render(self) -> str:
         return f"{self.location}: {self.code} {self.message}"
 
     def sort_key(self) -> tuple:
-        return (self.path, self.line, self.code)
+        return (self.path, self.line, self.column, self.code)

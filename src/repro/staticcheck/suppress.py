@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
+
+from repro.staticcheck.findings import Finding, RULE_CATALOG
 
 _SUPPRESS_RE = re.compile(
     r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
@@ -47,3 +49,34 @@ def valid_suppression_lines(source: str) -> Dict[int, Set[str]]:
     """``{line: codes}`` for suppressions that carry a reason."""
     return {s.line: s.codes for s in parse_suppressions(source)
             if s.reason}
+
+
+def apply_suppressions(raw: List[Finding], source: str,
+                       display_path: str,
+                       ) -> Tuple[List[Finding], List[Finding]]:
+    """Split raw findings by the source's suppression comments.
+
+    Returns ``(findings, suppressed)``, both sorted.  Reasonless
+    suppressions stay inert and add a ``SUP001`` finding.  The comment
+    syntax is line-based, so this works identically for Python modules
+    and YAML manifests.
+    """
+    suppressions = parse_suppressions(source)
+    by_line: Dict[int, Suppression] = {s.line: s for s in suppressions}
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        suppression = by_line.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes \
+                and suppression.reason:
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    for suppression in suppressions:
+        if not suppression.reason:
+            findings.append(Finding(
+                "SUP001", display_path, suppression.line,
+                RULE_CATALOG["SUP001"]))
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return findings, suppressed

@@ -1,0 +1,88 @@
+"""``repro validate <manifest> [--run]`` and the chaos CLI registry."""
+
+import textwrap
+from pathlib import Path
+
+from repro.chaos.cli import main as chaos_main
+from repro.cli import main as repro_main
+
+SCENARIO_DIR = Path(__file__).resolve().parents[2] / "scenarios"
+
+#: Small enough to run as part of the unit suite (~1s simulated setup).
+TINY_CHAOS = textwrap.dedent("""\
+    kind: chaos
+    name: tiny
+    description: "fast smoke scenario"
+    topology:
+      nodes:
+        - {count: 2, gpus_per_node: 4, gpu_type: K80}
+    workload:
+      jobs: 2
+      interarrival_s: 10.0
+      iterations: 20
+      seed: inherit
+    run: {horizon_s: 240.0, settle_s: 60.0}
+    faults:
+      - {at_s: 30.0, kind: etcd-leader-kill}
+    hypotheses:
+      checks: [no-lost-job-records, etcd-leader-elected]
+      counters:
+        - {name: write-errors, equals: 0}
+    """)
+
+
+def test_validate_clean_manifest_exits_zero(capsys):
+    path = SCENARIO_DIR / "etcd-leader-kill.yaml"
+    assert repro_main(["validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "static pass clean" in out
+
+
+def test_validate_prints_findings_and_exits_one(tmp_path, capsys):
+    bad = tmp_path / "bad.yaml"
+    bad.write_text(TINY_CHAOS.replace("etcd-leader-kill",
+                                      "etcd-leader-kil"))
+    assert repro_main(["validate", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "MAN002" in out
+    assert "static finding(s)" in out
+
+
+def test_validate_missing_file_exits_two(capsys):
+    assert repro_main(["validate", "/no/such/file.yaml"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_validate_run_passes_on_tiny_manifest(tmp_path, capsys):
+    path = tmp_path / "tiny.yaml"
+    path.write_text(TINY_CHAOS)
+    assert repro_main(["validate", str(path), "--run"]) == 0
+    out = capsys.readouterr().out
+    assert "static pass clean" in out
+    assert "check no-lost-job-records: PASS" in out
+    assert "check write-errors: PASS" in out
+    assert "run PASS" in out
+
+
+def test_validate_run_fails_on_impossible_assertion(tmp_path, capsys):
+    path = tmp_path / "tiny.yaml"
+    path.write_text(TINY_CHAOS.replace(
+        "{name: write-errors, equals: 0}",
+        "{name: jobs-submitted, equals: 999}"))
+    assert repro_main(["validate", str(path), "--run"]) == 1
+    out = capsys.readouterr().out
+    assert "check jobs-submitted: FAIL" in out
+    assert "run FAIL" in out
+
+
+def test_chaos_list_shows_manifest_origins(capsys):
+    assert chaos_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "etcd-leader-kill (builtin+manifest:" in out
+    assert "federation-brownout-migration (builtin+manifest:" in out
+    assert "[federation]" in out
+
+
+def test_chaos_unknown_scenario_exits_two(capsys):
+    assert chaos_main(["--scenario", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().out

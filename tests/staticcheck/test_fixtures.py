@@ -1,13 +1,14 @@
-"""Fixture-corpus tests for the flow-sensitive and interprocedural rules.
+"""Fixture-corpus tests for the flow-sensitive, interprocedural, and
+manifest (MAN) rules.
 
-Each ``*_violations.py`` fixture marks every expected finding with a
-``# <- CODE`` comment on the offending line (several codes may share a
-line: ``# <- DET001 <- DET004``); the tests assert that the analyzer
-reports exactly those (line, code) pairs — no misses, no false
-positives.  ``*_clean.py`` fixtures hold the nearest *correct* idioms
-and must produce no findings at all.  Fixture files carry the
-``# staticcheck: fixture`` pragma, so directory scans (and therefore
-``--strict`` CI runs over ``tests/``) skip them.
+Each ``*_violations.py`` / ``*_violations.yaml`` fixture marks every
+expected finding with a ``# <- CODE`` comment on the offending line
+(several codes may share a line: ``# <- MAN001 <- MAN004``); the tests
+assert that the analyzer reports exactly those (line, code) pairs — no
+misses, no false positives.  ``*_clean.*`` fixtures hold the nearest
+*correct* idioms and must produce no findings at all.  Fixture files
+carry the ``# staticcheck: fixture`` pragma, so directory scans (and
+therefore ``--strict`` CI runs over ``tests/``) skip them.
 """
 
 import re
@@ -15,7 +16,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.staticcheck import analyze_paths, analyze_source
+from repro.staticcheck import (
+    analyze_manifest_source,
+    analyze_paths,
+    analyze_source,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -34,6 +39,11 @@ VIOLATION_FIXTURES = {
     "perf001_violations.py": "PERF001",
     "perf002_violations.py": "PERF002",
     "perf003_violations.py": "PERF003",
+    "man001_violations.yaml": "MAN001",
+    "man002_violations.yaml": "MAN002",
+    "man003_violations.yaml": "MAN003",
+    "man004_violations.yaml": "MAN004",
+    "man005_violations.yaml": "MAN005",
 }
 
 CLEAN_FIXTURES = [
@@ -48,6 +58,12 @@ CLEAN_FIXTURES = [
     "perf001_clean.py",
     "perf002_clean.py",
     "perf003_clean.py",
+    "man001_clean.yaml",
+    "man002_clean.yaml",
+    "man003_clean.yaml",
+    "man004_clean.yaml",
+    "man005_clean.yaml",
+    "golden_manifest.yaml",
 ]
 
 _MARKER_RE = re.compile(r"<-\s*([A-Z]+\d+)")
@@ -55,7 +71,10 @@ _MARKER_RE = re.compile(r"<-\s*([A-Z]+\d+)")
 
 def analyze_fixture(name):
     source = (FIXTURES / name).read_text(encoding="utf-8")
-    findings, _suppressed = analyze_source(source, name)
+    if name.endswith((".yaml", ".yml")):
+        findings, _suppressed = analyze_manifest_source(source, name)
+    else:
+        findings, _suppressed = analyze_source(source, name)
     return source, findings
 
 
@@ -85,7 +104,9 @@ def test_clean_fixture_has_no_findings(name):
 
 
 def test_every_fixture_file_carries_the_pragma():
-    for path in sorted(FIXTURES.glob("*.py")):
+    paths = sorted(FIXTURES.glob("*.py")) + \
+        sorted(FIXTURES.glob("*.yaml")) + sorted(FIXTURES.glob("*.yml"))
+    for path in paths:
         head = path.read_text(encoding="utf-8").splitlines()[:3]
         assert any("staticcheck: fixture" in line for line in head), \
             f"{path.name} is missing the fixture pragma"
